@@ -1,0 +1,394 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"saga/internal/annotate"
+	"saga/internal/embedding"
+	"saga/internal/kg"
+	"saga/internal/odke"
+	"saga/internal/ondevice"
+	"saga/internal/vecindex"
+	"saga/internal/webcorpus"
+	"saga/internal/websearch"
+	"saga/internal/workload"
+)
+
+// The benchmark side of each experiment: where the Test measures quality
+// (the paper's "who wins"), the Benchmark measures cost (the paper's
+// price/performance axis). Run with:
+//
+//	go test -bench=. -benchmem .
+
+// BenchmarkE1FactRanking measures fact-ranking queries per second.
+func BenchmarkE1FactRanking(b *testing.B) {
+	f := getFixture(b)
+	occ := f.w.Preds["occupation"]
+	people := f.w.People
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.svc.RankFacts(people[i%len(people)], occ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2FactVerification measures triple-scoring throughput.
+func BenchmarkE2FactVerification(b *testing.B) {
+	f := getFixture(b)
+	n := int32(f.dataset.NumEntities())
+	r := int32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.model.Score(int32(i)%n, r, int32(i*7)%n)
+	}
+}
+
+// BenchmarkE3RelatedEntities measures related-entity queries (walk-vector
+// kNN) per second.
+func BenchmarkE3RelatedEntities(b *testing.B) {
+	f := getFixture(b)
+	people := f.w.People
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.walkSvc.RelatedEntities(people[i%len(people)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4EntityLinking measures single-document annotation latency
+// for each ranking mode — the paper's modular quality/cost trade-off.
+func BenchmarkE4EntityLinking(b *testing.B) {
+	f := getFixture(b)
+	var texts []string
+	for _, d := range f.corpus {
+		if d.Cluster >= 0 {
+			texts = append(texts, d.Text)
+		}
+		if len(texts) == 50 {
+			break
+		}
+	}
+	for _, mode := range []annotate.Mode{annotate.ModeLexical, annotate.ModePopularity, annotate.ModeContextual} {
+		b.Run(string(mode), func(b *testing.B) {
+			a := f.annotators[mode]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = a.Annotate(texts[i%len(texts)])
+			}
+		})
+	}
+}
+
+// BenchmarkE5TrainingThroughput measures Hogwild SGD edge throughput at
+// 1, 2, and 4 workers (the paper's multi-GPU scaling axis, mapped to
+// goroutines per DESIGN.md).
+func BenchmarkE5TrainingThroughput(b *testing.B) {
+	f := getFixture(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := embedding.TrainConfig{
+				Model: embedding.DistMult, Dim: 32, Epochs: 1,
+				LearningRate: 0.08, Negatives: 2, Workers: workers, Seed: 1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := embedding.Train(f.train, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(f.train.Triples)*b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
+// BenchmarkE6AnnotationThroughput measures corpus annotation in docs/s.
+func BenchmarkE6AnnotationThroughput(b *testing.B) {
+	f := getFixture(b)
+	a := f.annotators[annotate.ModeContextual]
+	b.ResetTimer()
+	var docs int
+	for i := 0; i < b.N; i++ {
+		pipe := annotate.NewPipeline(a, 4)
+		stats := pipe.Run(f.corpus)
+		docs += stats.Processed
+	}
+	b.ReportMetric(float64(docs)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkE6Incremental measures the incremental pass cost at several
+// change rates; work should scale with the rate, not the corpus.
+func BenchmarkE6Incremental(b *testing.B) {
+	f := getFixture(b)
+	a := f.annotators[annotate.ModeContextual]
+	for _, rate := range []float64{0.05, 0.2} {
+		b.Run(fmt.Sprintf("rate=%v", rate), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				docs := webcorpus.Generate(f.w, webcorpus.Config{NumDocs: 300, Seed: 7})
+				pipe := annotate.NewPipeline(a, 4)
+				pipe.Run(docs)
+				rng := rand.New(rand.NewSource(int64(i)))
+				webcorpus.Mutate(docs, rate, rng)
+				b.StartTimer()
+				pipe.Run(docs)
+			}
+		})
+	}
+}
+
+// BenchmarkE7ODKEPipeline measures end-to-end gap-filling latency.
+func BenchmarkE7ODKEPipeline(b *testing.B) {
+	w, err := workload.GenerateKG(workload.KGConfig{NumPeople: 80, NumClusters: 8, Seed: 177})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := webcorpus.Generate(w, webcorpus.Config{NumDocs: 400, InfoboxFraction: 0.6, Seed: 177})
+	ann, err := annotate.New(w.Graph, annotate.Config{Mode: annotate.ModeContextual, Seed: 177})
+	if err != nil {
+		b.Fatal(err)
+	}
+	index := websearch.NewIndex(docs)
+	resolver := odke.NewEntityResolver(w.Graph)
+	pipe, err := odke.NewPipeline(w.Graph, index, ann,
+		[]odke.Extractor{odke.NewInfoboxExtractor(w.Graph, resolver), odke.NewTextExtractor(w.Graph)},
+		odke.MajorityVoteFuser{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A rotating set of gaps (collect-only so graph state stays fixed).
+	var gaps []odke.Gap
+	for _, p := range w.People[:20] {
+		gaps = append(gaps, odke.Gap{Subject: p, Predicate: w.Preds["memberOf"], Kind: odke.GapMissing})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gap := gaps[i%len(gaps)]
+		cands, _, _ := pipe.CollectCandidates(gap)
+		_, _ = odke.Fuse(odke.MajorityVoteFuser{}, cands)
+	}
+}
+
+// BenchmarkE8PersonalKG measures personal-KG construction in records/s
+// under a tight and a loose memory budget.
+func BenchmarkE8PersonalKG(b *testing.B) {
+	records, _ := ondevice.GenerateDeviceData(ondevice.DeviceDataConfig{NumPersons: 40, RecordsPerPerson: 4, Seed: 188})
+	for _, budget := range []int{1 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				builder, err := ondevice.NewBuilder(b.TempDir(), budget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				processed, err := builder.ProcessBatch(records, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n += processed
+				b.StopTimer()
+				builder.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkE9Sync measures a full all-to-all sync round across three
+// devices.
+func BenchmarkE9Sync(b *testing.B) {
+	records, _ := ondevice.GenerateDeviceData(ondevice.DeviceDataConfig{NumPersons: 20, RecordsPerPerson: 4, Seed: 199})
+	prefs := func() map[ondevice.SourceKind]bool {
+		return map[ondevice.SourceKind]bool{
+			ondevice.SourceContacts: true, ondevice.SourceMessages: true, ondevice.SourceCalendar: true,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		base := b.TempDir()
+		var devices []*ondevice.Device
+		for _, name := range []string{"phone", "laptop", "watch"} {
+			d, err := ondevice.NewDevice(base, name, 1, prefs(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			devices = append(devices, d)
+		}
+		devices[0].AddLocalRecords(records)
+		sg := &ondevice.SyncGroup{Devices: devices}
+		b.StartTimer()
+		if err := sg.SyncRound(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for _, d := range devices {
+			d.Close()
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE10Enrichment measures the three enrichment paths' per-query
+// cost: asset lookup, piggyback interaction, and PIR fetch.
+func BenchmarkE10Enrichment(b *testing.B) {
+	f := getFixture(b)
+	keys := make([]string, len(f.w.People))
+	for i, p := range f.w.People {
+		keys[i] = f.w.Graph.Entity(p).Key
+	}
+	b.Run("static-asset", func(b *testing.B) {
+		asset, err := ondevice.BuildStaticAsset(f.w.Graph, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			asset.Lookup(keys[i%len(keys)])
+		}
+	})
+	b.Run("piggyback", func(b *testing.B) {
+		cache := ondevice.NewPiggybackCache()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.ServerInteraction(f.w.Graph, keys[i%len(keys)])
+		}
+	})
+	b.Run("pir", func(b *testing.B) {
+		pir := ondevice.NewPIRServer(f.w.Graph)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pir.Fetch(keys[i%len(keys)])
+		}
+		b.ReportMetric(float64(pir.CostUnits)/float64(b.N), "rows/query")
+	})
+}
+
+// BenchmarkE11ANNPricePerf measures kNN latency across nprobe settings
+// and against the exact flat index, with recall reported per setting.
+func BenchmarkE11ANNPricePerf(b *testing.B) {
+	rng := rand.New(rand.NewSource(211))
+	const n, dim = 5000, 32
+	ids := make([]uint64, n)
+	vecs := make([]vecindex.Vector, n)
+	for i := 0; i < n; i++ {
+		ids[i] = uint64(i + 1)
+		v := make(vecindex.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		vecs[i] = vecindex.Normalize(v)
+	}
+	flat := vecindex.NewFlat()
+	for i := range ids {
+		if err := flat.Add(ids[i], vecs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ivf, err := vecindex.BuildIVF(ids, vecs, vecindex.IVFOptions{NList: 64, Seed: 211})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recallOf := func(nprobe int) float64 {
+		var hit, total int
+		for q := 0; q < 30; q++ {
+			query := vecs[(q*31)%n]
+			want := flat.Search(query, 10)
+			got := ivf.SearchNProbe(query, 10, nprobe)
+			gotSet := make(map[uint64]bool, len(got))
+			for _, r := range got {
+				gotSet[r.ID] = true
+			}
+			for _, r := range want {
+				total++
+				if gotSet[r.ID] {
+					hit++
+				}
+			}
+		}
+		return float64(hit) / float64(total)
+	}
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = flat.Search(vecs[i%n], 10)
+		}
+		b.ReportMetric(1.0, "recall@10")
+	})
+	for _, nprobe := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("ivf-nprobe=%d", nprobe), func(b *testing.B) {
+			rec := recallOf(nprobe)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ivf.SearchNProbe(vecs[i%n], 10, nprobe)
+			}
+			b.ReportMetric(rec, "recall@10")
+		})
+	}
+}
+
+// BenchmarkE12DiskTraining compares one epoch of in-memory vs
+// disk-streamed partition training.
+func BenchmarkE12DiskTraining(b *testing.B) {
+	f := getFixture(b)
+	cfg := embedding.TrainConfig{
+		Model: embedding.DistMult, Dim: 32, Epochs: 1,
+		LearningRate: 0.08, Negatives: 2, Workers: 2, Seed: 1,
+	}
+	b.Run("in-memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := embedding.Train(f.train, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("disk-partitioned", func(b *testing.B) {
+		dir := b.TempDir()
+		paths, err := embedding.WritePartitions(f.train, dir, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := embedding.TrainFromDisk(f.train, paths, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGraphAssert measures raw triple ingestion.
+func BenchmarkGraphAssert(b *testing.B) {
+	g := kg.NewGraph()
+	p, _ := g.AddPredicate(kg.Predicate{Name: "p"})
+	const pool = 10000
+	ids := make([]kg.EntityID, pool)
+	for i := range ids {
+		id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Assert(kg.Triple{Subject: ids[i%pool], Predicate: p, Object: kg.IntValue(int64(i))})
+	}
+}
+
+// BenchmarkSearch measures BM25 query latency on the fixture corpus.
+func BenchmarkSearch(b *testing.B) {
+	f := getFixture(b)
+	queries := []string{"update from", "award after the match", "basketball player", "weather today"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.index.Search(queries[i%len(queries)], 10)
+	}
+}

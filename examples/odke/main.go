@@ -1,0 +1,109 @@
+// ODKE example: the Fig 6 walkthrough on the public API. A missing
+// date-of-birth for the singer "Michelle Williams" is ① identified,
+// ② turned into search queries, ③ matched to relevant Web documents,
+// ④ extracted from conflicting sources, and ⑤ resolved to the correct
+// 1979-07-23 by corroborative fusion despite a high-confidence page
+// carrying the actress's 1980-09-09.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saga/internal/odke"
+	"saga/saga"
+)
+
+func main() {
+	g := saga.NewGraph()
+	o := g.Ontology()
+	thing, _ := o.AddType("Thing", 0)
+	person, _ := o.AddType("Person", thing)
+
+	singer, err := g.AddEntity(saga.Entity{
+		Key: "mw-singer", Name: "Michelle Williams",
+		Aliases:     []string{"Michelle Williams"},
+		Description: "Michelle Williams, American singer, member of Destiny's Child",
+		Types:       []saga.TypeID{person}, Popularity: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.AddEntity(saga.Entity{
+		Key: "mw-actress", Name: "Michelle Williams",
+		Aliases:     []string{"Michelle Williams"},
+		Description: "Michelle Williams, American actress known for Dawson's Creek",
+		Types:       []saga.TypeID{person}, Popularity: 0.8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	dob, err := g.AddPredicate(saga.Predicate{Name: "dateOfBirth", ValueKind: saga.KindTime, Functional: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ③ The "Web": three pages about the singer, one of which confuses
+	// her with the actress.
+	docs := []*saga.Document{
+		{
+			ID: "d1", URL: "https://music.example/mw", Title: "Michelle Williams singer biography",
+			Text:    "Michelle Williams, the singer of Destiny's Child, was born on July 23, 1979 in Rockford.",
+			Quality: 0.85, Version: 1,
+			Infobox:        map[string]string{"dateOfBirth": "1979-07-23"},
+			InfoboxSubject: singer,
+		},
+		{
+			ID: "d2", URL: "https://gospel.example/mw", Title: "Michelle Williams discography",
+			Text:    "Gospel artist Michelle Williams, born 1979, has released several solo albums.",
+			Quality: 0.7, Version: 1,
+			Infobox:        map[string]string{"dateOfBirth": "1979-07-23"},
+			InfoboxSubject: singer,
+		},
+		{
+			ID: "d3", URL: "https://fanwiki.example/mw", Title: "Michelle Williams facts",
+			Text:    "Michelle Williams was born on September 9, 1980 in Kalispell, Montana.",
+			Quality: 0.4, Version: 1,
+			Infobox:        map[string]string{"dateOfBirth": "1980-09-09"}, // the actress's dob
+			InfoboxSubject: singer,
+		},
+	}
+	index := saga.NewSearchIndex(docs)
+
+	p := saga.New(g)
+	if err := p.BuildAnnotator(saga.AnnotateConfig{Mode: saga.ModeContextual, Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.BuildODKE(index, saga.MajorityVoteFuser{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// ① The missing fact.
+	gap := saga.Gap{Subject: singer, Predicate: dob, Kind: saga.GapMissing, Priority: 1}
+	fmt.Printf("① missing fact: <%s, dateOfBirth, ?>\n", g.Entity(singer).Name)
+
+	// ② Auto-generated search queries.
+	queries := odke.SynthesizeQueries(g, gap)
+	fmt.Println("② synthesized queries:")
+	for _, q := range queries {
+		fmt.Printf("   %q\n", q)
+	}
+
+	// ③–⑤ Retrieve, extract, corroborate, write back.
+	rep, err := p.RunODKE([]saga.Gap{gap})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := rep.Outcomes[0]
+	fmt.Printf("③ retrieved %d documents\n", out.DocsRetrieved)
+	fmt.Printf("④ extracted %d candidates:\n", len(out.Candidates))
+	for _, c := range out.Candidates {
+		fmt.Printf("   %s from %s (extractor=%s conf=%.2f quality=%.2f)\n",
+			c.Value, c.DocID, c.Extractor, c.Confidence, c.DocQuality)
+	}
+	facts := g.Facts(singer, dob)
+	if len(facts) != 1 {
+		log.Fatalf("expected one fused fact, got %v", facts)
+	}
+	fmt.Printf("⑤ fused answer: %s (score %.2f) — the singer's true date of birth\n",
+		facts[0].Object, out.Fused.Score)
+}

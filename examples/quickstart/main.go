@@ -1,0 +1,107 @@
+// Quickstart: build a small knowledge graph by hand, train embeddings,
+// and use the three §2 applications — fact ranking, fact verification,
+// and related entities — on the paper's own LeBron James example (Fig 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saga/saga"
+)
+
+func main() {
+	g := saga.NewGraph()
+	o := g.Ontology()
+	thing, _ := o.AddType("Thing", 0)
+	person, _ := o.AddType("Person", thing)
+	occupationT, _ := o.AddType("Occupation", thing)
+
+	addEntity := func(key, name, desc string, t saga.TypeID, pop float64) saga.EntityID {
+		id, err := g.AddEntity(saga.Entity{Key: key, Name: name, Description: desc, Types: []saga.TypeID{t}, Popularity: pop})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	lebron := addEntity("lebron", "LeBron James", "basketball superstar", person, 0.95)
+	curry := addEntity("curry", "Stephen Curry", "basketball star", person, 0.9)
+	kobe := addEntity("kobe", "Kobe Bryant", "basketball legend", person, 0.9)
+	savannah := addEntity("savannah", "Savannah James", "entrepreneur", person, 0.4)
+	bball := addEntity("bball", "Basketball Player", "", occupationT, 0.8)
+	tvactor := addEntity("tvactor", "Television Actor", "", occupationT, 0.5)
+	screenwriter := addEntity("screenwriter", "Screenwriter", "", occupationT, 0.3)
+	mvp := addEntity("mvp", "NBA Most Valuable Player Award", "", thing, 0.7)
+
+	pred := func(name string) saga.PredicateID {
+		id, err := g.AddPredicate(saga.Predicate{Name: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	occupation := pred("occupation")
+	award := pred("award")
+	spouse := pred("spouse")
+	teammateEra := pred("eraRival")
+
+	assert := func(s saga.EntityID, p saga.PredicateID, obj saga.EntityID) {
+		if err := g.Assert(saga.Triple{Subject: s, Predicate: p, Object: saga.EntityValue(obj)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// LeBron's occupations, in true importance order: basketball player
+	// is supported by much more graph structure than the others.
+	assert(lebron, occupation, bball)
+	assert(lebron, occupation, tvactor)
+	assert(lebron, occupation, screenwriter)
+	assert(curry, occupation, bball)
+	assert(kobe, occupation, bball)
+	assert(lebron, award, mvp)
+	assert(curry, award, mvp)
+	assert(kobe, award, mvp)
+	assert(lebron, spouse, savannah)
+	assert(lebron, teammateEra, curry)
+	assert(lebron, teammateEra, kobe)
+	assert(curry, teammateEra, kobe)
+
+	p := saga.New(g)
+	if err := p.TrainEmbeddings(saga.EmbeddingOptions{
+		Train: saga.TrainConfig{Model: saga.DistMult, Dim: 16, Epochs: 200, LearningRate: 0.1, Negatives: 4, Seed: 7},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fact ranking: <LeBron James, occupation, ?>
+	fmt.Println("Q: <LeBron James, Occupation, ?>")
+	ranked, err := p.RankFacts(lebron, occupation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rf := range ranked {
+		fmt.Printf("  %d. %s (score %.3f)\n", i+1, g.Entity(rf.Triple.Object.Entity).Name, rf.Score)
+	}
+
+	// Fact verification: <LeBron James, occupation, TV Actor>?
+	pos := [][3]uint32{{uint32(lebron), uint32(occupation), uint32(bball)}, {uint32(curry), uint32(occupation), uint32(bball)}}
+	neg := [][3]uint32{{uint32(lebron), uint32(occupation), uint32(mvp)}, {uint32(curry), uint32(occupation), uint32(savannah)}}
+	if err := p.CalibrateVerifier(pos, neg); err != nil {
+		log.Fatal(err)
+	}
+	v, err := p.VerifyFact(lebron, occupation, tvactor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ: <LeBron James, Occupation, TV Actor>?\nA: plausible=%v (score %.3f, threshold %.3f)\n",
+		v.Plausible, v.Score, v.Threshold)
+
+	// Related entities: <LeBron James, Related, ?>
+	rel, err := p.RelatedEntities(lebron, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQ: <LeBron James, Related, ?>")
+	for i, se := range rel {
+		fmt.Printf("  %d. %s (similarity %.3f)\n", i+1, g.Entity(se.ID).Name, se.Score)
+	}
+}

@@ -1,0 +1,318 @@
+// Package annotate implements the extensible Semantic Annotation service
+// of §3: dictionary-based mention detection over entity aliases
+// (Aho-Corasick), candidate generation, and entity linking with three
+// interchangeable ranking modes — lexical, popularity, and contextual
+// reranking — reflecting the paper's "modular, allowing custom deployments
+// for different use-cases" design. The contextual mode follows §3's
+// recipe: precomputed embeddings of the textual features of KG entities
+// (name, description, popularity) compared against an embedding of the
+// mention's surrounding context.
+package annotate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"saga/internal/kg"
+	"saga/internal/textutil"
+	"saga/internal/vecindex"
+)
+
+// Mode selects the candidate-ranking component, per the paper's modular
+// deployments trading quality for cost.
+type Mode string
+
+const (
+	// ModeLexical ranks candidates by surface-form similarity only: the
+	// cheapest deployment, no KG signals.
+	ModeLexical Mode = "lexical"
+	// ModePopularity adds the entity popularity prior.
+	ModePopularity Mode = "popularity"
+	// ModeContextual adds contextual reranking with cached text-feature
+	// embeddings: the highest-quality deployment.
+	ModeContextual Mode = "contextual"
+)
+
+// Config configures an Annotator.
+type Config struct {
+	// Mode selects the ranking component; default ModeContextual.
+	Mode Mode
+	// ContextWindow is the number of bytes of document text on each side
+	// of a mention embedded as linking context; default 200.
+	ContextWindow int
+	// MinScore suppresses annotations whose best candidate scores below
+	// it; default 0 (emit everything).
+	MinScore float64
+	// EmbedDim is the dimensionality of the hashed text-feature
+	// embeddings; default 64.
+	EmbedDim int
+	// Seed drives embedding hashing.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Mode == "" {
+		c.Mode = ModeContextual
+	}
+	if c.ContextWindow <= 0 {
+		c.ContextWindow = 200
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 64
+	}
+}
+
+// Candidate is one entity hypothesis for a mention.
+type Candidate struct {
+	Entity kg.EntityID
+	Score  float64
+}
+
+// Annotation is one linked mention in a document.
+type Annotation struct {
+	// Start/End are byte offsets into the annotated text.
+	Start, End int
+	Surface    string
+	// Entity is the chosen link target.
+	Entity kg.EntityID
+	// Score of the winning candidate.
+	Score float64
+	// Candidates holds the full ranked candidate list (best first).
+	Candidates []Candidate
+}
+
+// Annotator links text to KG entities. Build once with New; Annotate is
+// safe for concurrent use.
+type Annotator struct {
+	g   *kg.Graph
+	cfg Config
+
+	matcher *textutil.Matcher
+	// patEnts maps automaton pattern ID -> candidate entities sharing that
+	// alias.
+	patEnts [][]kg.EntityID
+
+	// entVecs caches the text-feature embedding of every entity — the
+	// precomputed, cached entity embeddings of §3.2.
+	entVecs map[kg.EntityID]vecindex.Vector
+	// featCache memoizes token feature vectors.
+	featMu    sync.RWMutex
+	featCache map[string]vecindex.Vector
+}
+
+// New builds an annotator over the graph's entity alias dictionary.
+func New(g *kg.Graph, cfg Config) (*Annotator, error) {
+	cfg.setDefaults()
+	a := &Annotator{
+		g:         g,
+		cfg:       cfg,
+		entVecs:   make(map[kg.EntityID]vecindex.Vector),
+		featCache: make(map[string]vecindex.Vector),
+	}
+	builder := textutil.NewMatcherBuilder()
+	// alias -> pattern id dedup: multiple entities share one pattern.
+	patByAlias := make(map[string]int)
+	var patEnts [][]kg.EntityID
+	count := 0
+	g.Entities(func(e *kg.Entity) bool {
+		aliases := e.Aliases
+		if len(aliases) == 0 {
+			aliases = []string{e.Name}
+		}
+		for _, al := range aliases {
+			norm := textutil.NormalizePhrase(al)
+			if norm == "" {
+				continue
+			}
+			pid, ok := patByAlias[norm]
+			if !ok {
+				pid = builder.AddPhrase(norm)
+				if pid < 0 {
+					continue
+				}
+				patByAlias[norm] = pid
+				patEnts = append(patEnts, nil)
+			}
+			patEnts[pid] = append(patEnts[pid], e.ID)
+		}
+		if cfg.Mode == ModeContextual {
+			a.entVecs[e.ID] = a.textEmbedding(e.Name + " " + e.Description)
+		}
+		count++
+		return true
+	})
+	if count == 0 {
+		return nil, fmt.Errorf("annotate: graph has no entities")
+	}
+	a.matcher = builder.Build()
+	a.patEnts = patEnts
+	return a, nil
+}
+
+// Annotate links all detected mentions in text.
+func (a *Annotator) Annotate(text string) []Annotation {
+	tokens := textutil.Tokenize(text)
+	if len(tokens) == 0 {
+		return nil
+	}
+	words := make([]string, len(tokens))
+	for i, t := range tokens {
+		words[i] = t.Text
+	}
+	matches := a.matcher.Match(words)
+	spans := resolveOverlaps(matches)
+
+	var out []Annotation
+	for _, m := range spans {
+		startByte := tokens[m.Start].Start
+		endByte := tokens[m.End-1].End
+		surface := text[startByte:endByte]
+		cands := a.rankCandidates(surface, a.patEnts[m.Pattern], text, startByte, endByte)
+		if len(cands) == 0 {
+			continue
+		}
+		best := cands[0]
+		if best.Score < a.cfg.MinScore {
+			continue
+		}
+		out = append(out, Annotation{
+			Start:      startByte,
+			End:        endByte,
+			Surface:    surface,
+			Entity:     best.Entity,
+			Score:      best.Score,
+			Candidates: cands,
+		})
+	}
+	return out
+}
+
+// resolveOverlaps keeps a non-overlapping subset of matches, preferring
+// longer spans, then earlier ones (standard longest-match annotation
+// policy: "New York City" beats "New York" beats "York").
+func resolveOverlaps(matches []textutil.TokenMatch) []textutil.TokenMatch {
+	sorted := append([]textutil.TokenMatch(nil), matches...)
+	sort.Slice(sorted, func(i, j int) bool {
+		li := sorted[i].End - sorted[i].Start
+		lj := sorted[j].End - sorted[j].Start
+		if li != lj {
+			return li > lj
+		}
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Pattern < sorted[j].Pattern
+	})
+	var kept []textutil.TokenMatch
+	used := make(map[int]bool)
+	for _, m := range sorted {
+		free := true
+		for t := m.Start; t < m.End; t++ {
+			if used[t] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for t := m.Start; t < m.End; t++ {
+			used[t] = true
+		}
+		kept = append(kept, m)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
+	return kept
+}
+
+// rankCandidates scores each candidate entity for a mention according to
+// the configured mode.
+func (a *Annotator) rankCandidates(surface string, ents []kg.EntityID, text string, startByte, endByte int) []Candidate {
+	if len(ents) == 0 {
+		return nil
+	}
+	var ctxVec vecindex.Vector
+	if a.cfg.Mode == ModeContextual {
+		lo := startByte - a.cfg.ContextWindow
+		if lo < 0 {
+			lo = 0
+		}
+		hi := endByte + a.cfg.ContextWindow
+		if hi > len(text) {
+			hi = len(text)
+		}
+		// Exclude the mention itself so ambiguous candidates are not all
+		// boosted equally by their shared surface form.
+		ctxVec = a.textEmbedding(text[lo:startByte] + " " + text[endByte:hi])
+	}
+	out := make([]Candidate, 0, len(ents))
+	for _, id := range ents {
+		e := a.g.Entity(id)
+		if e == nil {
+			continue
+		}
+		score := textutil.JaroWinkler(textutil.NormalizePhrase(surface), textutil.NormalizePhrase(e.Name))
+		switch a.cfg.Mode {
+		case ModeLexical:
+			// surface similarity only
+		case ModePopularity:
+			score = 0.5*score + 0.5*e.Popularity
+		case ModeContextual:
+			ctx := float64(vecindex.Cosine(ctxVec, a.entVecs[id]))
+			score = 0.25*score + 0.15*e.Popularity + 0.6*ctx
+		}
+		out = append(out, Candidate{Entity: id, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// textEmbedding builds the hashed bag-of-words embedding of a text: the
+// sum of deterministic pseudo-random token vectors, L2-normalized. These
+// play the role of the paper's textual-feature embeddings; they are
+// training-free and cheap enough to precompute for every entity.
+func (a *Annotator) textEmbedding(text string) vecindex.Vector {
+	vec := make(vecindex.Vector, a.cfg.EmbedDim)
+	for _, tok := range textutil.Tokenize(text) {
+		f := a.tokenFeature(tok.Text)
+		for i := range vec {
+			vec[i] += f[i]
+		}
+	}
+	return vecindex.Normalize(vec)
+}
+
+func (a *Annotator) tokenFeature(token string) vecindex.Vector {
+	a.featMu.RLock()
+	v, ok := a.featCache[token]
+	a.featMu.RUnlock()
+	if ok {
+		return v
+	}
+	h := fnv.New64a()
+	h.Write([]byte(token))
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ a.cfg.Seed))
+	v = make(vecindex.Vector, a.cfg.EmbedDim)
+	for i := range v {
+		if rng.Intn(2) == 0 {
+			v[i] = 1
+		} else {
+			v[i] = -1
+		}
+	}
+	a.featMu.Lock()
+	a.featCache[token] = v
+	a.featMu.Unlock()
+	return v
+}
+
+// Mode returns the annotator's configured mode.
+func (a *Annotator) Mode() Mode { return a.cfg.Mode }

@@ -1,0 +1,162 @@
+// Package embedding implements the knowledge-graph embedding pipeline of
+// §2 of the paper: shallow embedding models (TransE, DistMult, ComplEx)
+// trained with negative sampling and Hogwild-style parallel SGD over
+// random edge-based partitions, optionally streamed from disk; link-
+// prediction evaluation (MRR, Hits@K); and traversal-based related-entity
+// embeddings built from pre-computed random walks.
+//
+// The paper trains on GPU clusters; this reproduction substitutes
+// multi-goroutine CPU training with the same partitioned data-parallel
+// structure (see DESIGN.md, substitutions table).
+package embedding
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"saga/internal/kg"
+)
+
+// Dataset is an embedding training set: entity-valued triples re-indexed
+// into dense [0,n) entity and relation indexes.
+type Dataset struct {
+	// Ents maps dense index -> graph entity ID.
+	Ents []kg.EntityID
+	// Rels maps dense index -> graph predicate ID.
+	Rels []kg.PredicateID
+	// Triples are (head, relation, tail) dense index records.
+	Triples [][3]int32
+
+	entIdx map[kg.EntityID]int32
+	relIdx map[kg.PredicateID]int32
+	// known indexes every (h,r,t) for filtered evaluation and
+	// false-negative-aware sampling.
+	known map[[3]int32]struct{}
+}
+
+// NewDataset builds a dataset from triples, keeping only entity-valued
+// facts (literals cannot participate in translational embeddings).
+func NewDataset(triples []kg.Triple) *Dataset {
+	d := &Dataset{
+		entIdx: make(map[kg.EntityID]int32),
+		relIdx: make(map[kg.PredicateID]int32),
+		known:  make(map[[3]int32]struct{}),
+	}
+	for _, t := range triples {
+		if !t.Object.IsEntity() {
+			continue
+		}
+		h := d.internEntity(t.Subject)
+		r := d.internRelation(t.Predicate)
+		tt := d.internEntity(t.Object.Entity)
+		rec := [3]int32{h, r, tt}
+		if _, dup := d.known[rec]; dup {
+			continue
+		}
+		d.known[rec] = struct{}{}
+		d.Triples = append(d.Triples, rec)
+	}
+	return d
+}
+
+func (d *Dataset) internEntity(id kg.EntityID) int32 {
+	if i, ok := d.entIdx[id]; ok {
+		return i
+	}
+	i := int32(len(d.Ents))
+	d.Ents = append(d.Ents, id)
+	d.entIdx[id] = i
+	return i
+}
+
+func (d *Dataset) internRelation(id kg.PredicateID) int32 {
+	if i, ok := d.relIdx[id]; ok {
+		return i
+	}
+	i := int32(len(d.Rels))
+	d.Rels = append(d.Rels, id)
+	d.relIdx[id] = i
+	return i
+}
+
+// EntityIndex returns the dense index of a graph entity.
+func (d *Dataset) EntityIndex(id kg.EntityID) (int32, bool) {
+	i, ok := d.entIdx[id]
+	return i, ok
+}
+
+// RelationIndex returns the dense index of a graph predicate.
+func (d *Dataset) RelationIndex(id kg.PredicateID) (int32, bool) {
+	i, ok := d.relIdx[id]
+	return i, ok
+}
+
+// NumEntities returns the entity vocabulary size.
+func (d *Dataset) NumEntities() int { return len(d.Ents) }
+
+// NumRelations returns the relation vocabulary size.
+func (d *Dataset) NumRelations() int { return len(d.Rels) }
+
+// Known reports whether (h,r,t) is an observed triple; used to filter
+// false negatives during sampling and evaluation.
+func (d *Dataset) Known(h, r, t int32) bool {
+	_, ok := d.known[[3]int32{h, r, t}]
+	return ok
+}
+
+// WithTriples returns a dataset that shares this dataset's vocabulary and
+// known-triple filter but holds only the triples accepted by keep. Use it
+// to carve training subsets out of a full dataset without losing the
+// index space (e.g. excluding held-out test triples from a noisy-view
+// training run).
+func (d *Dataset) WithTriples(keep func([3]int32) bool) *Dataset {
+	sub := &Dataset{
+		Ents:   d.Ents,
+		Rels:   d.Rels,
+		entIdx: d.entIdx,
+		relIdx: d.relIdx,
+		known:  d.known,
+	}
+	for _, t := range d.Triples {
+		if keep(t) {
+			sub.Triples = append(sub.Triples, t)
+		}
+	}
+	return sub
+}
+
+// Split partitions the triples into train/test subsets with the given test
+// fraction, deterministically under seed. Both returned datasets share the
+// full entity/relation vocabulary and the full "known" filter so filtered
+// evaluation remains correct.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, errors.New("embedding: testFrac must be in (0,1)")
+	}
+	if len(d.Triples) < 2 {
+		return nil, nil, fmt.Errorf("embedding: too few triples to split: %d", len(d.Triples))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(d.Triples))
+	nTest := int(float64(len(d.Triples)) * testFrac)
+	if nTest < 1 {
+		nTest = 1
+	}
+	mk := func(idx []int) *Dataset {
+		sub := &Dataset{
+			Ents:   d.Ents,
+			Rels:   d.Rels,
+			entIdx: d.entIdx,
+			relIdx: d.relIdx,
+			known:  d.known,
+		}
+		for _, i := range idx {
+			sub.Triples = append(sub.Triples, d.Triples[i])
+		}
+		return sub
+	}
+	test = mk(perm[:nTest])
+	train = mk(perm[nTest:])
+	return train, test, nil
+}

@@ -1,0 +1,274 @@
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"saga/internal/vecindex"
+)
+
+// ModelKind selects the shallow embedding model family.
+type ModelKind string
+
+const (
+	// TransE is the translational-distance model of Bordes et al. 2013
+	// (paper reference [3]).
+	TransE ModelKind = "transe"
+	// DistMult is the bilinear-diagonal semantic matching model of Yang
+	// et al. 2014 (paper reference [22]).
+	DistMult ModelKind = "distmult"
+	// ComplEx is the complex-valued bilinear model, the generalization the
+	// paper's related-work section points at via [23].
+	ComplEx ModelKind = "complex"
+)
+
+// Model is a trainable shallow KG embedding model. Score is higher for
+// more plausible triples for every model kind (TransE distances are
+// negated). Update performs one SGD step on a positive triple and one
+// corrupted negative. Models are NOT internally synchronized: the trainer
+// runs Hogwild-style lock-free updates, which is the standard approach for
+// sparse-gradient shallow models.
+type Model interface {
+	Kind() ModelKind
+	Dim() int
+	NumEntities() int
+	NumRelations() int
+	// Score returns the plausibility of (h, r, t) by dense index.
+	Score(h, r, t int32) float64
+	// Update applies one SGD step given a positive (h,r,t) and a negative
+	// (nh,r,nt) at learning rate lr.
+	Update(h, r, t, nh, nt int32, lr float64)
+	// EntityVector returns the (possibly concatenated re/im) entity
+	// embedding as a vecindex.Vector copy.
+	EntityVector(e int32) vecindex.Vector
+}
+
+// NewModel constructs a model with Xavier-style random initialization.
+func NewModel(kind ModelKind, numEnts, numRels, dim int, seed int64) (Model, error) {
+	if numEnts <= 0 || numRels <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embedding: invalid model shape ents=%d rels=%d dim=%d", numEnts, numRels, dim)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case TransE:
+		m := &transEModel{base: newBase(numEnts, numRels, dim, rng)}
+		m.normalizeEntities()
+		return m, nil
+	case DistMult:
+		return &distMultModel{base: newBase(numEnts, numRels, dim, rng)}, nil
+	case ComplEx:
+		// Store re and im halves concatenated: vectors of length 2*dim.
+		return &complExModel{base: newBase(numEnts, numRels, 2*dim, rng), half: dim}, nil
+	default:
+		return nil, fmt.Errorf("embedding: unknown model kind %q", kind)
+	}
+}
+
+// base holds the embedding matrices shared by all model kinds.
+type base struct {
+	ent [][]float32
+	rel [][]float32
+	dim int
+}
+
+func newBase(numEnts, numRels, dim int, rng *rand.Rand) base {
+	bound := float32(6 / math.Sqrt(float64(dim)))
+	mk := func(n int) [][]float32 {
+		m := make([][]float32, n)
+		for i := range m {
+			v := make([]float32, dim)
+			for j := range v {
+				v[j] = (rng.Float32()*2 - 1) * bound
+			}
+			m[i] = v
+		}
+		return m
+	}
+	return base{ent: mk(numEnts), rel: mk(numRels), dim: dim}
+}
+
+func (b *base) NumEntities() int  { return len(b.ent) }
+func (b *base) NumRelations() int { return len(b.rel) }
+func (b *base) Dim() int          { return b.dim }
+
+func (b *base) EntityVector(e int32) vecindex.Vector {
+	return append(vecindex.Vector(nil), b.ent[e]...)
+}
+
+// ---------------------------------------------------------------- TransE
+
+type transEModel struct {
+	base
+}
+
+func (m *transEModel) Kind() ModelKind { return TransE }
+
+// Score returns the negated squared L2 distance ||h + r - t||².
+func (m *transEModel) Score(h, r, t int32) float64 {
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	var s float64
+	for i := 0; i < m.dim; i++ {
+		d := float64(hv[i] + rv[i] - tv[i])
+		s += d * d
+	}
+	return -s
+}
+
+const transEMargin = 1.0
+
+// Update applies a margin-ranking step: push the positive distance below
+// the negative distance by at least the margin.
+func (m *transEModel) Update(h, r, t, nh, nt int32, lr float64) {
+	posLoss := -m.Score(h, r, t)
+	negLoss := -m.Score(nh, r, nt)
+	if posLoss+transEMargin <= negLoss {
+		return // margin satisfied, no gradient
+	}
+	step := float32(lr)
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	nhv, ntv := m.ent[nh], m.ent[nt]
+	for i := 0; i < m.dim; i++ {
+		dPos := hv[i] + rv[i] - tv[i]
+		dNeg := nhv[i] + rv[i] - ntv[i]
+		// Positive triple: reduce distance.
+		g := 2 * step * dPos
+		hv[i] -= g
+		tv[i] += g
+		// Negative triple: increase distance.
+		gn := 2 * step * dNeg
+		nhv[i] += gn
+		ntv[i] -= gn
+		// Relation gets both contributions.
+		rv[i] -= g - gn
+	}
+	normalizeVec(hv)
+	normalizeVec(tv)
+	normalizeVec(nhv)
+	normalizeVec(ntv)
+}
+
+func (m *transEModel) normalizeEntities() {
+	for _, v := range m.ent {
+		normalizeVec(v)
+	}
+}
+
+// normalizeVec projects v onto the unit sphere (TransE's entity
+// constraint), leaving zero vectors alone.
+func normalizeVec(v []float32) {
+	var n float64
+	for _, x := range v {
+		n += float64(x) * float64(x)
+	}
+	if n == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(n))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// -------------------------------------------------------------- DistMult
+
+type distMultModel struct {
+	base
+}
+
+func (m *distMultModel) Kind() ModelKind { return DistMult }
+
+// Score is the trilinear product Σ h·r·t.
+func (m *distMultModel) Score(h, r, t int32) float64 {
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	var s float64
+	for i := 0; i < m.dim; i++ {
+		s += float64(hv[i]) * float64(rv[i]) * float64(tv[i])
+	}
+	return s
+}
+
+const l2Reg = 1e-5
+
+// Update applies one logistic-loss step on the positive and the negative.
+func (m *distMultModel) Update(h, r, t, nh, nt int32, lr float64) {
+	m.logisticStep(h, r, t, 1, lr)
+	m.logisticStep(nh, r, nt, -1, lr)
+}
+
+func (m *distMultModel) logisticStep(h, r, t int32, label float64, lr float64) {
+	s := m.Score(h, r, t)
+	// dLoss/ds for loss = log(1 + exp(-label*s)).
+	g := -label * sigmoid(-label*s)
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	step := float32(lr)
+	gf := float32(g)
+	for i := 0; i < m.dim; i++ {
+		gh := gf*rv[i]*tv[i] + l2Reg*hv[i]
+		gr := gf*hv[i]*tv[i] + l2Reg*rv[i]
+		gt := gf*hv[i]*rv[i] + l2Reg*tv[i]
+		hv[i] -= step * gh
+		rv[i] -= step * gr
+		tv[i] -= step * gt
+	}
+}
+
+// --------------------------------------------------------------- ComplEx
+
+type complExModel struct {
+	base
+	half int // real dimensionality; vectors are [re | im]
+}
+
+func (m *complExModel) Kind() ModelKind { return ComplEx }
+func (m *complExModel) Dim() int        { return m.half }
+
+// Score is Re(<h, r, conj(t)>).
+func (m *complExModel) Score(h, r, t int32) float64 {
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	d := m.half
+	var s float64
+	for i := 0; i < d; i++ {
+		hr, hi := float64(hv[i]), float64(hv[d+i])
+		rr, ri := float64(rv[i]), float64(rv[d+i])
+		tr, ti := float64(tv[i]), float64(tv[d+i])
+		s += hr*rr*tr + hi*rr*ti + hr*ri*ti - hi*ri*tr
+	}
+	return s
+}
+
+// Update applies one logistic-loss step on the positive and the negative.
+func (m *complExModel) Update(h, r, t, nh, nt int32, lr float64) {
+	m.logisticStep(h, r, t, 1, lr)
+	m.logisticStep(nh, r, nt, -1, lr)
+}
+
+func (m *complExModel) logisticStep(h, r, t int32, label float64, lr float64) {
+	s := m.Score(h, r, t)
+	g := float32(-label * sigmoid(-label*s))
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	d := m.half
+	step := float32(lr)
+	for i := 0; i < d; i++ {
+		hr, hi := hv[i], hv[d+i]
+		rr, ri := rv[i], rv[d+i]
+		tr, ti := tv[i], tv[d+i]
+		// Partial derivatives of the ComplEx score.
+		dhr := rr*tr + ri*ti
+		dhi := rr*ti - ri*tr
+		drr := hr*tr + hi*ti
+		dri := hr*ti - hi*tr
+		dtr := hr*rr - hi*ri
+		dti := hi*rr + hr*ri
+		hv[i] -= step * (g*dhr + l2Reg*hr)
+		hv[d+i] -= step * (g*dhi + l2Reg*hi)
+		rv[i] -= step * (g*drr + l2Reg*rr)
+		rv[d+i] -= step * (g*dri + l2Reg*ri)
+		tv[i] -= step * (g*dtr + l2Reg*tr)
+		tv[d+i] -= step * (g*dti + l2Reg*ti)
+	}
+}
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

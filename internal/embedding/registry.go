@@ -1,0 +1,306 @@
+package embedding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Model persistence and the Model Registry of Fig 3: training runs
+// register their output ("Model Registry" box), and inference loads a
+// named, versioned model. The on-disk format is a small binary file:
+// magic, model kind, shape, then the entity and relation matrices.
+
+const modelMagic = uint32(0x53414D44) // "SAMD"
+
+// SaveModel serializes a trained model to path.
+func SaveModel(m Model, path string) error {
+	b, half, err := baseOf(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("embedding: save model: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	kind := []byte(m.Kind())
+	hdr := []any{
+		modelMagic,
+		uint32(len(kind)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := w.Write(kind); err != nil {
+		f.Close()
+		return err
+	}
+	for _, v := range []uint32{uint32(len(b.ent)), uint32(len(b.rel)), uint32(b.dim), uint32(half)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	writeMatrix := func(m [][]float32) error {
+		for _, row := range m {
+			for _, x := range row {
+				if err := binary.Write(w, binary.LittleEndian, math.Float32bits(x)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeMatrix(b.ent); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeMatrix(b.rel); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel deserializes a model saved by SaveModel.
+func LoadModel(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: load model: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic, kindLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("embedding: model %s: %w", path, err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("embedding: model %s: bad magic %x", path, magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &kindLen); err != nil {
+		return nil, err
+	}
+	if kindLen > 64 {
+		return nil, fmt.Errorf("embedding: model %s: implausible kind length %d", path, kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kindBuf); err != nil {
+		return nil, err
+	}
+	var nEnt, nRel, dim, half uint32
+	for _, p := range []*uint32{&nEnt, &nRel, &dim, &half} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	readMatrix := func(n, d uint32) ([][]float32, error) {
+		m := make([][]float32, n)
+		buf := make([]byte, 4*d)
+		for i := range m {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("embedding: model %s truncated: %w", path, err)
+			}
+			row := make([]float32, d)
+			for j := range row {
+				row[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+			}
+			m[i] = row
+		}
+		return m, nil
+	}
+	ent, err := readMatrix(nEnt, dim)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := readMatrix(nRel, dim)
+	if err != nil {
+		return nil, err
+	}
+	b := base{ent: ent, rel: rel, dim: int(dim)}
+	switch ModelKind(kindBuf) {
+	case TransE:
+		return &transEModel{base: b}, nil
+	case DistMult:
+		return &distMultModel{base: b}, nil
+	case ComplEx:
+		return &complExModel{base: b, half: int(half)}, nil
+	default:
+		return nil, fmt.Errorf("embedding: model %s: unknown kind %q", path, kindBuf)
+	}
+}
+
+// baseOf extracts the parameter matrices from a known model kind.
+func baseOf(m Model) (*base, int, error) {
+	switch mm := m.(type) {
+	case *transEModel:
+		return &mm.base, 0, nil
+	case *distMultModel:
+		return &mm.base, 0, nil
+	case *complExModel:
+		return &mm.base, mm.half, nil
+	default:
+		return nil, 0, fmt.Errorf("embedding: cannot serialize model kind %q", m.Kind())
+	}
+}
+
+// Registry is the Fig 3 model registry: a directory of versioned, named
+// models with JSON metadata. Version numbers increase per name.
+type Registry struct {
+	dir string
+}
+
+// ModelInfo is one registry entry's metadata.
+type ModelInfo struct {
+	Name      string    `json:"name"`
+	Version   int       `json:"version"`
+	Kind      ModelKind `json:"kind"`
+	Dim       int       `json:"dim"`
+	Entities  int       `json:"entities"`
+	Relations int       `json:"relations"`
+	CreatedAt time.Time `json:"created_at"`
+	// Metrics carries free-form evaluation results (MRR etc.).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewRegistry opens (or creates) a registry rooted at dir.
+func NewRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("embedding: registry dir: %w", err)
+	}
+	return &Registry{dir: dir}, nil
+}
+
+func (r *Registry) modelPath(name string, version int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%s-v%04d.model", name, version))
+}
+
+func (r *Registry) metaPath(name string, version int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%s-v%04d.json", name, version))
+}
+
+// Register stores a model under name with the next version number and
+// returns its metadata.
+func (r *Registry) Register(name string, m Model, metrics map[string]float64) (ModelInfo, error) {
+	if name == "" {
+		return ModelInfo{}, fmt.Errorf("embedding: registry: empty model name")
+	}
+	versions, err := r.Versions(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	info := ModelInfo{
+		Name: name, Version: next, Kind: m.Kind(), Dim: m.Dim(),
+		Entities: m.NumEntities(), Relations: m.NumRelations(),
+		CreatedAt: time.Now().UTC(), Metrics: metrics,
+	}
+	if err := SaveModel(m, r.modelPath(name, next)); err != nil {
+		return ModelInfo{}, err
+	}
+	meta, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	if err := os.WriteFile(r.metaPath(name, next), meta, 0o644); err != nil {
+		return ModelInfo{}, err
+	}
+	return info, nil
+}
+
+// Versions lists the registered versions of name, ascending.
+func (r *Registry) Versions(name string) ([]int, error) {
+	pattern := filepath.Join(r.dir, name+"-v*.model")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, m := range matches {
+		var v int
+		base := filepath.Base(m)
+		if _, err := fmt.Sscanf(base, name+"-v%d.model", &v); err == nil {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Load retrieves a specific version.
+func (r *Registry) Load(name string, version int) (Model, ModelInfo, error) {
+	meta, err := os.ReadFile(r.metaPath(name, version))
+	if err != nil {
+		return nil, ModelInfo{}, fmt.Errorf("embedding: registry: %w", err)
+	}
+	var info ModelInfo
+	if err := json.Unmarshal(meta, &info); err != nil {
+		return nil, ModelInfo{}, fmt.Errorf("embedding: registry metadata: %w", err)
+	}
+	m, err := LoadModel(r.modelPath(name, version))
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return m, info, nil
+}
+
+// LoadLatest retrieves the highest registered version of name.
+func (r *Registry) LoadLatest(name string) (Model, ModelInfo, error) {
+	versions, err := r.Versions(name)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	if len(versions) == 0 {
+		return nil, ModelInfo{}, fmt.Errorf("embedding: registry: no versions of %q", name)
+	}
+	return r.Load(name, versions[len(versions)-1])
+}
+
+// List returns metadata for every registered model, sorted by name then
+// version.
+func (r *Registry) List() ([]ModelInfo, error) {
+	matches, err := filepath.Glob(filepath.Join(r.dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []ModelInfo
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			return nil, err
+		}
+		var info ModelInfo
+		if err := json.Unmarshal(data, &info); err != nil {
+			continue // skip foreign json files
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package embedding
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"saga/internal/graphengine"
+	"saga/internal/workload"
+)
+
+func trainedModelFor(t *testing.T, kind ModelKind) (Model, *Dataset) {
+	t.Helper()
+	w, err := workload.GenerateKG(workload.KGConfig{NumPeople: 40, NumClusters: 4, Seed: 151})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := graphengine.New(w.Graph)
+	d := NewDataset(eng.Materialize(graphengine.ViewDef{DropLiteralFacts: true}).Triples())
+	m, err := Train(d, TrainConfig{Model: kind, Dim: 16, Epochs: 5, Workers: 1, Seed: 151})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	for _, kind := range []ModelKind{TransE, DistMult, ComplEx} {
+		m, d := trainedModelFor(t, kind)
+		path := filepath.Join(t.TempDir(), "m.model")
+		if err := SaveModel(m, path); err != nil {
+			t.Fatalf("%s: save: %v", kind, err)
+		}
+		loaded, err := LoadModel(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", kind, err)
+		}
+		if loaded.Kind() != kind {
+			t.Fatalf("kind = %v, want %v", loaded.Kind(), kind)
+		}
+		if loaded.NumEntities() != m.NumEntities() || loaded.NumRelations() != m.NumRelations() || loaded.Dim() != m.Dim() {
+			t.Fatalf("%s: shape mismatch after load", kind)
+		}
+		// Scores must be bit-identical.
+		for _, tr := range d.Triples[:20] {
+			if got, want := loaded.Score(tr[0], tr[1], tr[2]), m.Score(tr[0], tr[1], tr[2]); got != want {
+				t.Fatalf("%s: score %v != %v after round trip", kind, got, want)
+			}
+		}
+		// Entity vectors identical.
+		va, vb := m.EntityVector(0), loaded.EntityVector(0)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("%s: entity vector differs", kind)
+			}
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/m.model"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.model")
+	if err := os.WriteFile(bad, []byte("not a model file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bad); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	// Truncated real model.
+	m, _ := trainedModelFor(t, DistMult)
+	good := filepath.Join(dir, "good.model")
+	if err := SaveModel(m, good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.model")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(trunc); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := trainedModelFor(t, DistMult)
+	info1, err := reg.Register("general-kg", m1, map[string]float64{"mrr": 0.42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Version != 1 || info1.Kind != DistMult {
+		t.Fatalf("info1 = %+v", info1)
+	}
+	m2, _ := trainedModelFor(t, TransE)
+	info2, err := reg.Register("general-kg", m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Version != 2 {
+		t.Fatalf("second version = %d", info2.Version)
+	}
+	// A second model family under its own name.
+	if _, err := reg.Register("related-entities", m1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	versions, err := reg.Versions("general-kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0] != 1 || versions[1] != 2 {
+		t.Fatalf("versions = %v", versions)
+	}
+
+	// Load a specific version and the latest.
+	loaded, info, err := reg.Load("general-kg", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind() != DistMult || info.Metrics["mrr"] != 0.42 {
+		t.Fatalf("v1 = %v %+v", loaded.Kind(), info)
+	}
+	latest, latestInfo, err := reg.LoadLatest("general-kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Kind() != TransE || latestInfo.Version != 2 {
+		t.Fatalf("latest = %v v%d", latest.Kind(), latestInfo.Version)
+	}
+
+	// List is sorted and complete.
+	all, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("list = %d entries", len(all))
+	}
+	if all[0].Name != "general-kg" || all[0].Version != 1 || all[2].Name != "related-entities" {
+		t.Fatalf("list order = %+v", all)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := trainedModelFor(t, DistMult)
+	if _, err := reg.Register("", m, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, _, err := reg.LoadLatest("never-registered"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, _, err := reg.Load("never-registered", 1); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestRegistryReopen(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, d := trainedModelFor(t, DistMult)
+	if _, err := reg.Register("kg", m, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh registry over the same directory sees the model.
+	reg2, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := reg2.LoadLatest("kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Triples[0]
+	if loaded.Score(tr[0], tr[1], tr[2]) != m.Score(tr[0], tr[1], tr[2]) {
+		t.Fatal("reopened registry served a different model")
+	}
+}

@@ -1,0 +1,85 @@
+package embedding
+
+import (
+	"math/rand"
+
+	"saga/internal/graphengine"
+	"saga/internal/kg"
+	"saga/internal/vecindex"
+)
+
+// Traversal-based related-entity embeddings (§2): "for specialized
+// related entity embeddings we use the scalable graph processing
+// capabilities of our graph engine to pre-compute graph traversals."
+//
+// The construction: the graph engine pre-computes random walks from each
+// entity; each entity's embedding is the normalized sum of pseudo-random
+// feature vectors of its walk co-occurrers, weighted by co-occurrence
+// count. Entities whose neighbourhood distributions overlap get high
+// cosine similarity (this is a random-projection sketch of the walk
+// co-occurrence matrix, so similarity is preserved in expectation).
+
+// WalkEmbedConfig configures TrainWalkEmbeddings.
+type WalkEmbedConfig struct {
+	// Dim is the output embedding dimensionality; default 64.
+	Dim int
+	// WalksPerNode is the number of pre-computed walks per source entity;
+	// default 20.
+	WalksPerNode int
+	// WalkLength is the number of hops per walk; default 4.
+	WalkLength int
+	// Seed makes both walks and feature vectors reproducible.
+	Seed int64
+}
+
+func (c *WalkEmbedConfig) setDefaults() {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.WalksPerNode <= 0 {
+		c.WalksPerNode = 20
+	}
+	if c.WalkLength <= 0 {
+		c.WalkLength = 4
+	}
+}
+
+// TrainWalkEmbeddings computes related-entity embeddings for the given
+// entities over the engine's graph. Entities with no neighbours get a
+// zero vector.
+func TrainWalkEmbeddings(e *graphengine.Engine, entities []kg.EntityID, cfg WalkEmbedConfig) map[kg.EntityID]vecindex.Vector {
+	cfg.setDefaults()
+	out := make(map[kg.EntityID]vecindex.Vector, len(entities))
+	for _, src := range entities {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(src)*0x9E3779B9))
+		walks := e.RandomWalks(src, cfg.WalksPerNode, cfg.WalkLength, rng)
+		co := graphengine.CoOccurrence(walks)
+		vec := make(vecindex.Vector, cfg.Dim)
+		for other, count := range co {
+			feat := featureVector(other, cfg.Dim, cfg.Seed)
+			w := float32(count)
+			for i := range vec {
+				vec[i] += w * feat[i]
+			}
+		}
+		out[src] = vecindex.Normalize(vec)
+	}
+	return out
+}
+
+// featureVector returns the deterministic pseudo-random ±1/sqrt(d) sign
+// vector for an entity. Sign vectors give an unbiased Johnson-
+// Lindenstrauss style sketch of the co-occurrence matrix.
+func featureVector(id kg.EntityID, dim int, seed int64) vecindex.Vector {
+	rng := rand.New(rand.NewSource(seed ^ (int64(id)+1)*0x517CC1B7))
+	v := make(vecindex.Vector, dim)
+	scale := float32(1)
+	for i := range v {
+		if rng.Intn(2) == 0 {
+			v[i] = scale
+		} else {
+			v[i] = -scale
+		}
+	}
+	return v
+}

@@ -1,0 +1,79 @@
+package embedserve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"saga/internal/kg"
+)
+
+// Batch inference (Fig 3, right side): "once we materialize the
+// candidates, we use a batch inference setting to retrieve embeddings
+// from the learned model and obtain scores for each candidate". The
+// graph engine materializes candidate triples; BatchScore fans them out
+// across workers, standing in for the paper's multi-GPU batch inference.
+
+// CandidateTriple is one candidate fact to score, in graph-ID space.
+type CandidateTriple struct {
+	Subject   kg.EntityID
+	Predicate kg.PredicateID
+	Object    kg.EntityID
+}
+
+// BatchResult pairs a candidate with its plausibility score. Mapped
+// reports whether all three components existed in the embedding space;
+// unmapped candidates carry a zero score.
+type BatchResult struct {
+	Candidate CandidateTriple
+	Score     float64
+	Mapped    bool
+}
+
+// BatchScore scores all candidates in parallel with the given worker
+// count (0 = GOMAXPROCS). Results preserve input order.
+func (s *Service) BatchScore(cands []CandidateTriple, workers int) ([]BatchResult, error) {
+	if s.model == nil {
+		return nil, errors.New("embedserve: no model loaded")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	out := make([]BatchResult, len(cands))
+	if len(cands) == 0 {
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := cands[i]
+				out[i].Candidate = c
+				h, ok1 := s.dataset.EntityIndex(c.Subject)
+				r, ok2 := s.dataset.RelationIndex(c.Predicate)
+				t, ok3 := s.dataset.EntityIndex(c.Object)
+				if !ok1 || !ok2 || !ok3 {
+					continue
+				}
+				out[i].Score = s.model.Score(h, r, t)
+				out[i].Mapped = true
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,294 @@
+// Package embedserve implements the Embedding Service of Fig 1: it serves
+// trained KG embeddings for the four §2 applications — fact ranking, fact
+// verification, related entities, and entity-linking support — and
+// provides k-nearest-neighbour retrieval over entity vectors. Entity
+// embeddings can be precomputed into a low-latency key-value store
+// (paper §3.2: "we precompute entity embeddings ... and cache the results
+// in a low-latency key-value store") so that serving only computes query
+// embeddings.
+package embedserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"saga/internal/embedding"
+	"saga/internal/kg"
+	"saga/internal/storage"
+	"saga/internal/vecindex"
+)
+
+// Service serves one trained embedding model plus optional related-entity
+// walk embeddings over a graph.
+type Service struct {
+	graph   *kg.Graph
+	dataset *embedding.Dataset
+	model   embedding.Model
+
+	// entIndex holds model entity vectors keyed by graph entity ID.
+	entIndex *vecindex.FlatIndex
+
+	// walkVecs are the traversal-based related-entity embeddings; walkIndex
+	// is their kNN index. Optional.
+	walkVecs  map[kg.EntityID]vecindex.Vector
+	walkIndex *vecindex.FlatIndex
+
+	// verifyThreshold classifies triples in VerifyFact.
+	verifyThreshold float64
+	thresholdSet    bool
+}
+
+// New builds a service from a trained model and the dataset that defines
+// its index space.
+func New(g *kg.Graph, model embedding.Model, dataset *embedding.Dataset) (*Service, error) {
+	if g == nil || model == nil || dataset == nil {
+		return nil, errors.New("embedserve: nil graph, model, or dataset")
+	}
+	s := &Service{graph: g, dataset: dataset, model: model, entIndex: vecindex.NewFlat()}
+	for i, gid := range dataset.Ents {
+		if err := s.entIndex.Add(uint64(gid), model.EntityVector(int32(i))); err != nil {
+			return nil, fmt.Errorf("embedserve: index entity %v: %w", gid, err)
+		}
+	}
+	return s, nil
+}
+
+// SetWalkEmbeddings installs traversal-based related-entity vectors.
+func (s *Service) SetWalkEmbeddings(vecs map[kg.EntityID]vecindex.Vector) error {
+	idx := vecindex.NewFlat()
+	for id, v := range vecs {
+		if err := idx.Add(uint64(id), v); err != nil {
+			return err
+		}
+	}
+	s.walkVecs = vecs
+	s.walkIndex = idx
+	return nil
+}
+
+// SetVerifyThreshold installs a calibrated fact-verification threshold.
+func (s *Service) SetVerifyThreshold(thr float64) {
+	s.verifyThreshold = thr
+	s.thresholdSet = true
+}
+
+// EntityEmbedding returns the model embedding of a graph entity.
+func (s *Service) EntityEmbedding(id kg.EntityID) (vecindex.Vector, bool) {
+	v, ok := s.entIndex.Get(uint64(id))
+	return v, ok
+}
+
+// Similarity returns the cosine similarity of two entities' model
+// embeddings (0 when either is unknown).
+func (s *Service) Similarity(a, b kg.EntityID) float64 {
+	va, ok1 := s.entIndex.Get(uint64(a))
+	vb, ok2 := s.entIndex.Get(uint64(b))
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return float64(vecindex.Cosine(va, vb))
+}
+
+// RankedFact is a fact with its model plausibility score.
+type RankedFact struct {
+	Triple kg.Triple
+	Score  float64
+}
+
+// RankFacts ranks the existing facts (subject, predicate, *) by model
+// score, most plausible first — the Fig 2 fact-ranking application ("LeBron
+// James, Occupation, ?" → Basketball Player before Screenwriter).
+func (s *Service) RankFacts(subject kg.EntityID, predicate kg.PredicateID) ([]RankedFact, error) {
+	h, ok := s.dataset.EntityIndex(subject)
+	if !ok {
+		return nil, fmt.Errorf("embedserve: subject %v not in embedding space", subject)
+	}
+	r, ok := s.dataset.RelationIndex(predicate)
+	if !ok {
+		return nil, fmt.Errorf("embedserve: predicate %v not in embedding space", predicate)
+	}
+	facts := s.graph.Facts(subject, predicate)
+	out := make([]RankedFact, 0, len(facts))
+	for _, f := range facts {
+		if !f.Object.IsEntity() {
+			continue
+		}
+		tIdx, ok := s.dataset.EntityIndex(f.Object.Entity)
+		if !ok {
+			continue
+		}
+		out = append(out, RankedFact{Triple: f, Score: s.model.Score(h, r, tIdx)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Triple.Object.Key() < out[j].Triple.Object.Key()
+	})
+	return out, nil
+}
+
+// Verification is the result of VerifyFact.
+type Verification struct {
+	Plausible bool
+	Score     float64
+	Threshold float64
+}
+
+// VerifyFact scores a candidate triple and classifies it against the
+// calibrated threshold — the Fig 2 fact-verification application.
+func (s *Service) VerifyFact(subject kg.EntityID, predicate kg.PredicateID, object kg.EntityID) (Verification, error) {
+	if !s.thresholdSet {
+		return Verification{}, errors.New("embedserve: verification threshold not calibrated; call SetVerifyThreshold")
+	}
+	h, ok := s.dataset.EntityIndex(subject)
+	if !ok {
+		return Verification{}, fmt.Errorf("embedserve: subject %v not in embedding space", subject)
+	}
+	r, ok := s.dataset.RelationIndex(predicate)
+	if !ok {
+		return Verification{}, fmt.Errorf("embedserve: predicate %v not in embedding space", predicate)
+	}
+	t, ok := s.dataset.EntityIndex(object)
+	if !ok {
+		return Verification{}, fmt.Errorf("embedserve: object %v not in embedding space", object)
+	}
+	score := s.model.Score(h, r, t)
+	return Verification{Plausible: score >= s.verifyThreshold, Score: score, Threshold: s.verifyThreshold}, nil
+}
+
+// ScoredEntity pairs a graph entity with a similarity score.
+type ScoredEntity struct {
+	ID    kg.EntityID
+	Score float64
+}
+
+// RelatedEntities returns the k entities most related to id — the Fig 2
+// related-entities application. It prefers the traversal-based walk
+// embeddings when installed (the paper's specialized related-entity path)
+// and falls back to model-embedding kNN.
+func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error) {
+	if s.walkIndex != nil {
+		v, ok := s.walkVecs[id]
+		if !ok {
+			return nil, fmt.Errorf("embedserve: entity %v has no walk embedding", id)
+		}
+		res := s.walkIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+		return toScored(res, k), nil
+	}
+	v, ok := s.entIndex.Get(uint64(id))
+	if !ok {
+		return nil, fmt.Errorf("embedserve: entity %v not in embedding space", id)
+	}
+	vecindex.Normalize(v)
+	res := s.entIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+	return toScored(res, k), nil
+}
+
+// NearestByVector returns the k entities nearest to an arbitrary query
+// vector in the model embedding space — the entity-linking support
+// primitive (query embedding vs cached entity embeddings, §3.2).
+func (s *Service) NearestByVector(q vecindex.Vector, k int) []ScoredEntity {
+	return toScored(s.entIndex.Search(q, k), k)
+}
+
+func toScored(res []vecindex.Result, k int) []ScoredEntity {
+	out := make([]ScoredEntity, 0, min(k, len(res)))
+	for _, r := range res {
+		if len(out) == k {
+			break
+		}
+		out = append(out, ScoredEntity{ID: kg.EntityID(r.ID), Score: float64(r.Score)})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Precomputed vector cache ------------------------------------------
+
+// cacheKey formats the store key for an entity's cached vector.
+func cacheKey(id kg.EntityID) string { return fmt.Sprintf("emb/%d", uint32(id)) }
+
+// PrecomputeCache writes every entity's model embedding into the KV store.
+func (s *Service) PrecomputeCache(store *storage.Store) (int, error) {
+	n := 0
+	for i, gid := range s.dataset.Ents {
+		v := s.model.EntityVector(int32(i))
+		if err := store.Put(cacheKey(gid), encodeVector(v)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := store.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// LoadCachedVector reads one entity vector from the KV store.
+func LoadCachedVector(store *storage.Store, id kg.EntityID) (vecindex.Vector, error) {
+	data, err := store.Get(cacheKey(id))
+	if err != nil {
+		return nil, err
+	}
+	return decodeVector(data)
+}
+
+// NewFromCache rebuilds a service's entity index from cached vectors
+// (model scoring APIs are unavailable; kNN and similarity work). It
+// returns the restored index.
+func NewFromCache(store *storage.Store) (*vecindex.FlatIndex, int, error) {
+	idx := vecindex.NewFlat()
+	n := 0
+	err := store.Scan("emb/", func(key string, value []byte) bool {
+		var id uint64
+		if _, serr := fmt.Sscanf(key, "emb/%d", &id); serr != nil {
+			return true
+		}
+		v, derr := decodeVector(value)
+		if derr != nil {
+			return true
+		}
+		if idx.Add(id, v) == nil {
+			n++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return idx, n, nil
+}
+
+func encodeVector(v vecindex.Vector) []byte {
+	buf := make([]byte, 4+4*len(v))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(v)))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], math.Float32bits(x))
+	}
+	return buf
+}
+
+func decodeVector(data []byte) (vecindex.Vector, error) {
+	if len(data) < 4 {
+		return nil, errors.New("embedserve: cached vector too short")
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if len(data) != int(4+4*n) {
+		return nil, fmt.Errorf("embedserve: cached vector length mismatch: header %d, payload %d bytes", n, len(data)-4)
+	}
+	v := make(vecindex.Vector, n)
+	for i := range v {
+		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4+4*i:]))
+	}
+	return v, nil
+}

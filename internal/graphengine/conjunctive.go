@@ -1,0 +1,196 @@
+package graphengine
+
+import (
+	"fmt"
+	"sort"
+
+	"saga/internal/kg"
+)
+
+// Conjunctive queries over the graph: the query shape behind the paper's
+// §1 example ("movies directed by Benicio Del Toro" = ?m with
+// (?m, directedBy, delToro) ∧ (?m, type, Movie)). A query is a set of
+// clauses over variables and constants; evaluation is a selectivity-
+// ordered nested-loop join with binding propagation, which is how the
+// Saga graph engine's retrieval path behaves for small conjunctive
+// patterns.
+
+// Term is one position of a clause: either a variable (Var != "") or a
+// constant. Subject terms must be entities; object terms may be any
+// value.
+type Term struct {
+	// Var names a variable ("?m"); empty means the term is a constant.
+	Var string
+	// Const is the constant value (entity or literal) when Var is empty.
+	Const kg.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v kg.Value) Term { return Term{Const: v} }
+
+// CE returns a constant entity term.
+func CE(id kg.EntityID) Term { return Term{Const: kg.EntityValue(id)} }
+
+// Clause is one triple pattern of a conjunctive query. The predicate is
+// always constant (variable predicates explode the search space and the
+// platform's use cases never need them).
+type Clause struct {
+	Subject   Term
+	Predicate kg.PredicateID
+	Object    Term
+}
+
+// Binding maps variable names to values.
+type Binding map[string]kg.Value
+
+// QueryConjunctive evaluates the conjunction and returns all satisfying
+// bindings. Duplicate bindings are collapsed. The result order is
+// deterministic (sorted by rendered binding).
+func (e *Engine) QueryConjunctive(clauses []Clause) ([]Binding, error) {
+	for i, c := range clauses {
+		if c.Subject.Var == "" && !c.Subject.Const.IsEntity() {
+			return nil, fmt.Errorf("graphengine: clause %d: constant subject must be an entity", i)
+		}
+		if c.Predicate == kg.NoPredicate {
+			return nil, fmt.Errorf("graphengine: clause %d: predicate required", i)
+		}
+	}
+	results := make(map[string]Binding)
+	e.solve(clauses, Binding{}, results)
+	out := make([]Binding, 0, len(results))
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, results[k])
+	}
+	return out, nil
+}
+
+// solve recursively picks the most selective unresolved clause under the
+// current binding, enumerates its matches, and recurses.
+func (e *Engine) solve(clauses []Clause, bound Binding, results map[string]Binding) {
+	if len(clauses) == 0 {
+		results[renderBinding(bound)] = cloneBinding(bound)
+		return
+	}
+	// Pick the clause with the smallest estimated extension.
+	bestIdx := 0
+	bestCost := int(^uint(0) >> 1)
+	for i, c := range clauses {
+		cost := e.estimate(c, bound)
+		if cost < bestCost {
+			bestCost = cost
+			bestIdx = i
+		}
+	}
+	chosen := clauses[bestIdx]
+	rest := make([]Clause, 0, len(clauses)-1)
+	rest = append(rest, clauses[:bestIdx]...)
+	rest = append(rest, clauses[bestIdx+1:]...)
+
+	for _, t := range e.expand(chosen, bound) {
+		next := bound
+		var added []string
+		ok := true
+		bindTerm := func(term Term, val kg.Value) {
+			if !ok || term.Var == "" {
+				return
+			}
+			if existing, has := next[term.Var]; has {
+				if !existing.Equal(val) {
+					ok = false
+				}
+				return
+			}
+			next[term.Var] = val
+			added = append(added, term.Var)
+		}
+		bindTerm(chosen.Subject, kg.EntityValue(t.Subject))
+		bindTerm(chosen.Object, t.Object)
+		if ok {
+			e.solve(rest, next, results)
+		}
+		for _, v := range added {
+			delete(next, v)
+		}
+	}
+}
+
+// resolve substitutes the binding into a term, returning the concrete
+// value and whether the term is now constant.
+func resolve(t Term, bound Binding) (kg.Value, bool) {
+	if t.Var == "" {
+		return t.Const, true
+	}
+	v, ok := bound[t.Var]
+	return v, ok
+}
+
+// estimate approximates how many triples expanding the clause would
+// enumerate under the binding.
+func (e *Engine) estimate(c Clause, bound Binding) int {
+	s, sBound := resolve(c.Subject, bound)
+	o, oBound := resolve(c.Object, bound)
+	switch {
+	case sBound && oBound:
+		return 1
+	case sBound:
+		return len(e.g.Facts(s.Entity, c.Predicate)) + 1
+	case oBound:
+		return len(e.g.SubjectsWith(c.Predicate, o)) + 1
+	default:
+		return e.g.PredicateFrequency(c.Predicate) + 2
+	}
+}
+
+// expand enumerates the triples matching the clause under the binding.
+func (e *Engine) expand(c Clause, bound Binding) []kg.Triple {
+	s, sBound := resolve(c.Subject, bound)
+	o, oBound := resolve(c.Object, bound)
+	switch {
+	case sBound && oBound:
+		if e.g.HasFact(s.Entity, c.Predicate, o) {
+			return []kg.Triple{{Subject: s.Entity, Predicate: c.Predicate, Object: o}}
+		}
+		return nil
+	case sBound:
+		return e.g.Facts(s.Entity, c.Predicate)
+	case oBound:
+		subs := e.g.SubjectsWith(c.Predicate, o)
+		out := make([]kg.Triple, 0, len(subs))
+		for _, sub := range subs {
+			out = append(out, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: o})
+		}
+		return out
+	default:
+		return e.Query(Pattern{Predicate: P(c.Predicate)})
+	}
+}
+
+func cloneBinding(b Binding) Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// renderBinding produces a canonical string for dedup and ordering.
+func renderBinding(b Binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + b[k].Key() + ";"
+	}
+	return s
+}

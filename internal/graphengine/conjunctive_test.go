@@ -1,0 +1,219 @@
+package graphengine
+
+import (
+	"testing"
+
+	"saga/internal/kg"
+	"saga/internal/workload"
+)
+
+func TestConjunctiveSingleClause(t *testing.T) {
+	f := newFixture(t)
+	// ?who has the MVP award.
+	res, err := f.e.QueryConjunctive([]Clause{
+		{Subject: V("who"), Predicate: f.award, Object: CE(f.mvp)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("bindings = %v, want 3 award holders", res)
+	}
+	seen := map[kg.EntityID]bool{}
+	for _, b := range res {
+		v, ok := b["who"]
+		if !ok || !v.IsEntity() {
+			t.Fatalf("binding missing ?who: %v", b)
+		}
+		seen[v.Entity] = true
+	}
+	if !seen[f.lebron] || !seen[f.curry] || !seen[f.kobe] {
+		t.Fatalf("wrong award holders: %v", seen)
+	}
+}
+
+func TestConjunctiveJoin(t *testing.T) {
+	f := newFixture(t)
+	// ?who shares the MVP award AND has occupation basketball-player —
+	// only lebron has an occupation fact to bball in the fixture.
+	res, err := f.e.QueryConjunctive([]Clause{
+		{Subject: V("who"), Predicate: f.award, Object: CE(f.mvp)},
+		{Subject: V("who"), Predicate: f.occ, Object: CE(f.bball)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["who"].Entity != f.lebron {
+		t.Fatalf("join result = %v, want only lebron", res)
+	}
+}
+
+func TestConjunctiveTwoVariables(t *testing.T) {
+	f := newFixture(t)
+	// ?a and ?b share an award ?x: (?a, award, ?x) ∧ (?b, award, ?x).
+	res, err := f.e.QueryConjunctive([]Clause{
+		{Subject: V("a"), Predicate: f.award, Object: V("x")},
+		{Subject: V("b"), Predicate: f.award, Object: V("x")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 holders x 3 holders = 9 ordered pairs (including a==b).
+	if len(res) != 9 {
+		t.Fatalf("pairs = %d, want 9", len(res))
+	}
+	for _, b := range res {
+		if b["x"].Entity != f.mvp {
+			t.Fatalf("award variable bound to %v", b["x"])
+		}
+	}
+}
+
+func TestConjunctiveLiteralObject(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.e.QueryConjunctive([]Clause{
+		{Subject: V("p"), Predicate: f.height, Object: C(kg.IntValue(203))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["p"].Entity != f.lebron {
+		t.Fatalf("literal-object query = %v", res)
+	}
+	// Bind the literal to a variable instead.
+	res2, err := f.e.QueryConjunctive([]Clause{
+		{Subject: CE(f.lebron), Predicate: f.height, Object: V("h")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 1 || res2[0]["h"].Num != 203 {
+		t.Fatalf("height binding = %v", res2)
+	}
+}
+
+func TestConjunctiveNoMatch(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.e.QueryConjunctive([]Clause{
+		{Subject: V("who"), Predicate: f.award, Object: CE(f.mvp)},
+		{Subject: V("who"), Predicate: f.occ, Object: CE(f.mvp)}, // nobody's occupation is an award
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("impossible query returned %v", res)
+	}
+}
+
+func TestConjunctiveValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.e.QueryConjunctive([]Clause{
+		{Subject: C(kg.IntValue(5)), Predicate: f.award, Object: V("x")},
+	}); err == nil {
+		t.Fatal("literal subject accepted")
+	}
+	if _, err := f.e.QueryConjunctive([]Clause{
+		{Subject: V("s"), Object: V("o")},
+	}); err == nil {
+		t.Fatal("missing predicate accepted")
+	}
+}
+
+func TestConjunctiveEmptyQuery(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.e.QueryConjunctive(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty conjunction is trivially satisfied by the empty binding.
+	if len(res) != 1 || len(res[0]) != 0 {
+		t.Fatalf("empty query = %v", res)
+	}
+}
+
+func TestConjunctiveVariableReuseAcrossPositions(t *testing.T) {
+	g := kg.NewGraph()
+	a, _ := g.AddEntity(kg.Entity{Key: "a", Name: "A"})
+	b, _ := g.AddEntity(kg.Entity{Key: "b", Name: "B"})
+	knows, _ := g.AddPredicate(kg.Predicate{Name: "knows"})
+	// a knows b; b knows b (self-loop).
+	if err := g.Assert(kg.Triple{Subject: a, Predicate: knows, Object: kg.EntityValue(b)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Assert(kg.Triple{Subject: b, Predicate: knows, Object: kg.EntityValue(b)}); err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+	// ?x knows ?x — only the self-loop satisfies it.
+	res, err := e.QueryConjunctive([]Clause{
+		{Subject: V("x"), Predicate: knows, Object: V("x")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["x"].Entity != b {
+		t.Fatalf("self-loop query = %v", res)
+	}
+}
+
+// The paper's §1 example shape on generated data: "people in team T who
+// won award A" — a two-clause conjunction joined on the person variable.
+func TestConjunctiveOnGeneratedWorld(t *testing.T) {
+	w, err := workload.GenerateKG(workload.KGConfig{NumPeople: 60, NumClusters: 6, Seed: 303})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(w.Graph)
+	team := w.Teams[0]
+	award := w.Awards[0]
+	res, err := e.QueryConjunctive([]Clause{
+		{Subject: V("p"), Predicate: w.Preds["memberOf"], Object: CE(team)},
+		{Subject: V("p"), Predicate: w.Preds["award"], Object: CE(award)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against a direct scan.
+	want := 0
+	for _, p := range w.ClusterMembers[0] {
+		if w.Graph.HasFact(p, w.Preds["memberOf"], kg.EntityValue(team)) &&
+			w.Graph.HasFact(p, w.Preds["award"], kg.EntityValue(award)) {
+			want++
+		}
+	}
+	if len(res) != want {
+		t.Fatalf("conjunctive join = %d results, scan says %d", len(res), want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate fixture: nobody in team 0 has award 0")
+	}
+	// Every returned person must satisfy both clauses.
+	for _, b := range res {
+		p := b["p"].Entity
+		if !w.Graph.HasFact(p, w.Preds["memberOf"], kg.EntityValue(team)) {
+			t.Fatalf("binding %v violates memberOf clause", b)
+		}
+		if !w.Graph.HasFact(p, w.Preds["award"], kg.EntityValue(award)) {
+			t.Fatalf("binding %v violates award clause", b)
+		}
+	}
+}
+
+func TestConjunctiveDeterministicOrder(t *testing.T) {
+	f := newFixture(t)
+	q := []Clause{{Subject: V("who"), Predicate: f.award, Object: CE(f.mvp)}}
+	r1, err := f.e.QueryConjunctive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.e.QueryConjunctive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i]["who"].Entity != r2[i]["who"].Entity {
+			t.Fatal("non-deterministic result order")
+		}
+	}
+}

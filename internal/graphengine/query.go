@@ -1,0 +1,233 @@
+package graphengine
+
+import (
+	"math/rand"
+	"sort"
+
+	"saga/internal/kg"
+)
+
+// Pattern is a triple pattern with optional bindings: nil fields are
+// wildcards. It is the primitive of the engine's query interface.
+type Pattern struct {
+	Subject   *kg.EntityID
+	Predicate *kg.PredicateID
+	Object    *kg.Value
+}
+
+// S binds a subject.
+func S(id kg.EntityID) *kg.EntityID { return &id }
+
+// P binds a predicate.
+func P(id kg.PredicateID) *kg.PredicateID { return &id }
+
+// O binds an object.
+func O(v kg.Value) *kg.Value { return &v }
+
+// Query returns all triples matching the pattern, choosing the cheapest
+// index for the bound positions.
+func (e *Engine) Query(p Pattern) []kg.Triple {
+	g := e.g
+	switch {
+	case p.Subject != nil && p.Predicate != nil:
+		facts := g.Facts(*p.Subject, *p.Predicate)
+		if p.Object == nil {
+			return facts
+		}
+		var out []kg.Triple
+		for _, t := range facts {
+			if t.Object.Equal(*p.Object) {
+				out = append(out, t)
+			}
+		}
+		return out
+	case p.Subject != nil:
+		facts := g.Outgoing(*p.Subject)
+		if p.Object == nil {
+			return facts
+		}
+		var out []kg.Triple
+		for _, t := range facts {
+			if t.Object.Equal(*p.Object) {
+				out = append(out, t)
+			}
+		}
+		return out
+	case p.Predicate != nil && p.Object != nil:
+		subs := g.SubjectsWith(*p.Predicate, *p.Object)
+		out := make([]kg.Triple, 0, len(subs))
+		for _, s := range subs {
+			out = append(out, kg.Triple{Subject: s, Predicate: *p.Predicate, Object: *p.Object})
+		}
+		return out
+	case p.Object != nil && p.Object.IsEntity():
+		incoming := g.Incoming(p.Object.Entity)
+		if p.Predicate == nil {
+			return incoming
+		}
+		var out []kg.Triple
+		for _, t := range incoming {
+			if t.Predicate == *p.Predicate {
+				out = append(out, t)
+			}
+		}
+		return out
+	default:
+		// Full scan with residual filters.
+		var out []kg.Triple
+		g.Triples(func(t kg.Triple) bool {
+			if p.Predicate != nil && t.Predicate != *p.Predicate {
+				return true
+			}
+			if p.Object != nil && !t.Object.Equal(*p.Object) {
+				return true
+			}
+			out = append(out, t)
+			return true
+		})
+		return out
+	}
+}
+
+// Neighbors returns the distinct entities adjacent to id via entity-valued
+// facts in either direction.
+func (e *Engine) Neighbors(id kg.EntityID) []kg.EntityID {
+	set := make(map[kg.EntityID]struct{})
+	for _, t := range e.g.Outgoing(id) {
+		if t.Object.IsEntity() {
+			set[t.Object.Entity] = struct{}{}
+		}
+	}
+	for _, t := range e.g.Incoming(id) {
+		set[t.Subject] = struct{}{}
+	}
+	delete(set, id)
+	out := make([]kg.EntityID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BFS returns the shortest hop distance from source to every entity within
+// maxDepth hops (undirected over entity-valued facts). The source maps to
+// distance 0.
+func (e *Engine) BFS(source kg.EntityID, maxDepth int) map[kg.EntityID]int {
+	dist := map[kg.EntityID]int{source: 0}
+	frontier := []kg.EntityID{source}
+	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+		var next []kg.EntityID
+		for _, u := range frontier {
+			for _, v := range e.Neighbors(u) {
+				if _, seen := dist[v]; !seen {
+					dist[v] = depth
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// PersonalizedPageRank computes approximate PPR mass from source using
+// power iteration with restart probability alpha over the undirected
+// entity graph. Higher mass = more related. iters controls convergence;
+// 20 is plenty for ranking purposes.
+func (e *Engine) PersonalizedPageRank(source kg.EntityID, alpha float64, iters int) map[kg.EntityID]float64 {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.15
+	}
+	rank := map[kg.EntityID]float64{source: 1}
+	for it := 0; it < iters; it++ {
+		next := make(map[kg.EntityID]float64, len(rank))
+		next[source] += alpha
+		for u, r := range rank {
+			nbrs := e.Neighbors(u)
+			if len(nbrs) == 0 {
+				// Dangling mass restarts.
+				next[source] += (1 - alpha) * r
+				continue
+			}
+			share := (1 - alpha) * r / float64(len(nbrs))
+			for _, v := range nbrs {
+				next[v] += share
+			}
+		}
+		rank = next
+	}
+	return rank
+}
+
+// TopRelatedByPPR returns the k highest-PPR entities excluding the source,
+// as (entity, score) pairs sorted by descending score. This is the
+// traversal-based related-entities baseline of experiment E3.
+func (e *Engine) TopRelatedByPPR(source kg.EntityID, k int) []ScoredEntity {
+	ppr := e.PersonalizedPageRank(source, 0.15, 15)
+	delete(ppr, source)
+	out := make([]ScoredEntity, 0, len(ppr))
+	for id, s := range ppr {
+		out = append(out, ScoredEntity{ID: id, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// ScoredEntity pairs an entity with a relevance score.
+type ScoredEntity struct {
+	ID    kg.EntityID
+	Score float64
+}
+
+// RandomWalks generates n random walks of the given length starting at
+// source over the undirected entity graph, using rng for reproducibility.
+// The embedding pipeline pre-computes these traversals to build
+// related-entity training samples (§2's third scalability approach).
+func (e *Engine) RandomWalks(source kg.EntityID, n, length int, rng *rand.Rand) [][]kg.EntityID {
+	walks := make([][]kg.EntityID, 0, n)
+	for i := 0; i < n; i++ {
+		walk := make([]kg.EntityID, 0, length+1)
+		walk = append(walk, source)
+		cur := source
+		for step := 0; step < length; step++ {
+			nbrs := e.Neighbors(cur)
+			if len(nbrs) == 0 {
+				break
+			}
+			cur = nbrs[rng.Intn(len(nbrs))]
+			walk = append(walk, cur)
+		}
+		walks = append(walks, walk)
+	}
+	return walks
+}
+
+// CoOccurrence counts how often each entity co-occurs with source across
+// the provided walks (excluding the source itself). The counts feed the
+// related-entity embedding trainer.
+func CoOccurrence(walks [][]kg.EntityID) map[kg.EntityID]int {
+	counts := make(map[kg.EntityID]int)
+	for _, w := range walks {
+		if len(w) == 0 {
+			continue
+		}
+		src := w[0]
+		seen := make(map[kg.EntityID]bool)
+		for _, v := range w[1:] {
+			if v != src && !seen[v] {
+				counts[v]++
+				seen[v] = true
+			}
+		}
+	}
+	return counts
+}

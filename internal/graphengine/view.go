@@ -1,0 +1,264 @@
+// Package graphengine implements the computational graph engine of the
+// Saga platform (Fig 1, Fig 3 of the paper): declarative view definitions
+// that filter the KG into task-specific training views, triple-pattern
+// queries, graph traversals (BFS, random walks), and personalized
+// PageRank. The embedding pipeline trains on views produced here ("we
+// leverage a computational graph engine to generate a view of the KG by
+// filtering out non-relevant facts and possible noises", §2), and the
+// related-entities model consumes pre-computed traversals ("use the
+// scalable graph processing capabilities of our graph engine to
+// pre-compute graph traversals", §2).
+package graphengine
+
+import (
+	"sort"
+	"sync"
+
+	"saga/internal/kg"
+)
+
+// ViewDef declares a filtered view of the knowledge graph. The zero value
+// keeps every triple; fields progressively restrict it.
+type ViewDef struct {
+	// Name identifies the view in the registry and in checkpoints.
+	Name string
+	// DropLiteralFacts removes literal-valued facts (heights, external IDs,
+	// follower counts): the paper's canonical example of facts that are
+	// "not important for learning an embedding for an entity" (§2).
+	DropLiteralFacts bool
+	// DropEntityFacts removes entity-valued facts (rarely useful alone,
+	// but lets views isolate literal facts for e.g. extraction training).
+	DropEntityFacts bool
+	// MinPredicateFreq drops triples whose predicate occurs fewer than
+	// this many times in the source graph (§2: rare predicates "could
+	// create noise during the learning process").
+	MinPredicateFreq int
+	// ExcludePredicates drops specific predicates (e.g. national-library
+	// IDs) regardless of frequency.
+	ExcludePredicates map[kg.PredicateID]bool
+	// IncludePredicates, when non-nil, keeps only these predicates.
+	IncludePredicates map[kg.PredicateID]bool
+	// SubjectType, when non-zero, keeps only triples whose subject has
+	// (or inherits) this ontology type.
+	SubjectType kg.TypeID
+	// MinConfidence drops triples whose provenance confidence is lower.
+	MinConfidence float64
+}
+
+// View is a materialized filtered snapshot of the graph, maintained
+// incrementally from the graph's mutation log. Views are safe for
+// concurrent use.
+type View struct {
+	def ViewDef
+
+	mu      sync.RWMutex
+	g       *kg.Graph
+	triples []kg.Triple
+	keys    map[string]int // SPO -> index in triples
+	// predFreq is the frequency snapshot used for MinPredicateFreq
+	// decisions; it is computed at materialization time.
+	predFreq map[kg.PredicateID]int
+	seq      uint64 // last applied mutation sequence
+}
+
+// Def returns the view's definition.
+func (v *View) Def() ViewDef { return v.def }
+
+// Engine wraps a graph with query and view capabilities.
+type Engine struct {
+	g *kg.Graph
+
+	mu    sync.Mutex
+	views map[string]*View
+}
+
+// New returns an engine over g.
+func New(g *kg.Graph) *Engine {
+	return &Engine{g: g, views: make(map[string]*View)}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// Materialize builds (or returns the previously built) view for def.Name.
+// Views with the same name are assumed to have the same definition.
+func (e *Engine) Materialize(def ViewDef) *View {
+	e.mu.Lock()
+	if v, ok := e.views[def.Name]; ok && def.Name != "" {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+
+	v := &View{
+		def:      def,
+		g:        e.g,
+		keys:     make(map[string]int),
+		predFreq: make(map[kg.PredicateID]int),
+	}
+	// Snapshot predicate frequencies first so the MinPredicateFreq
+	// decision is stable for the whole materialization.
+	e.g.Triples(func(t kg.Triple) bool {
+		v.predFreq[t.Predicate]++
+		return true
+	})
+	v.seq = e.g.LastSeq()
+	e.g.Triples(func(t kg.Triple) bool {
+		if v.match(t) {
+			v.keys[t.SPO()] = len(v.triples)
+			v.triples = append(v.triples, t)
+		}
+		return true
+	})
+	if def.Name != "" {
+		e.mu.Lock()
+		e.views[def.Name] = v
+		e.mu.Unlock()
+	}
+	return v
+}
+
+// match applies the view predicate to one triple.
+func (v *View) match(t kg.Triple) bool {
+	d := &v.def
+	if d.DropLiteralFacts && t.Object.IsLiteral() {
+		return false
+	}
+	if d.DropEntityFacts && t.Object.IsEntity() {
+		return false
+	}
+	if d.ExcludePredicates != nil && d.ExcludePredicates[t.Predicate] {
+		return false
+	}
+	if d.IncludePredicates != nil && !d.IncludePredicates[t.Predicate] {
+		return false
+	}
+	if d.MinPredicateFreq > 0 && v.predFreq[t.Predicate] < d.MinPredicateFreq {
+		return false
+	}
+	if d.MinConfidence > 0 && t.Prov.Confidence < d.MinConfidence {
+		return false
+	}
+	if d.SubjectType != kg.NoType {
+		ent := v.g.Entity(t.Subject)
+		if ent == nil {
+			return false
+		}
+		ok := false
+		for _, ty := range ent.Types {
+			if v.g.Ontology().IsA(ty, d.SubjectType) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Refresh applies all graph mutations since the view's last refresh. This
+// is the incremental maintenance path: the static knowledge asset of §5
+// ("the view is automatically maintained and can be shipped to devices")
+// uses exactly this mechanism.
+func (v *View) Refresh() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	muts := v.g.MutationsSince(v.seq)
+	applied := 0
+	for _, m := range muts {
+		v.seq = m.Seq
+		switch m.Op {
+		case kg.OpAssert:
+			v.predFreq[m.T.Predicate]++
+			if !v.match(m.T) {
+				continue
+			}
+			key := m.T.SPO()
+			if _, dup := v.keys[key]; dup {
+				continue
+			}
+			v.keys[key] = len(v.triples)
+			v.triples = append(v.triples, m.T)
+			applied++
+		case kg.OpRetract:
+			v.predFreq[m.T.Predicate]--
+			key := m.T.SPO()
+			idx, ok := v.keys[key]
+			if !ok {
+				continue
+			}
+			last := len(v.triples) - 1
+			if idx != last {
+				v.triples[idx] = v.triples[last]
+				v.keys[v.triples[idx].SPO()] = idx
+			}
+			v.triples = v.triples[:last]
+			delete(v.keys, key)
+			applied++
+		}
+	}
+	return applied
+}
+
+// Triples returns a copy of the view's triples.
+func (v *View) Triples() []kg.Triple {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]kg.Triple, len(v.triples))
+	copy(out, v.triples)
+	return out
+}
+
+// Len returns the number of triples in the view.
+func (v *View) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.triples)
+}
+
+// Contains reports whether the view holds the fact.
+func (v *View) Contains(t kg.Triple) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.keys[t.SPO()]
+	return ok
+}
+
+// EntityIDs returns the sorted set of entity IDs appearing in the view as
+// subject or entity-valued object. The embedding trainer uses this as its
+// vocabulary.
+func (v *View) EntityIDs() []kg.EntityID {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	set := make(map[kg.EntityID]struct{})
+	for _, t := range v.triples {
+		set[t.Subject] = struct{}{}
+		if t.Object.IsEntity() {
+			set[t.Object.Entity] = struct{}{}
+		}
+	}
+	out := make([]kg.EntityID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PredicateIDs returns the sorted set of predicates appearing in the view.
+func (v *View) PredicateIDs() []kg.PredicateID {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	set := make(map[kg.PredicateID]struct{})
+	for _, t := range v.triples {
+		set[t.Predicate] = struct{}{}
+	}
+	out := make([]kg.PredicateID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,474 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entity is the metadata record for a node in the graph. Facts about the
+// entity live in the triple store; this record holds the identity and the
+// textual features (name, aliases, description) that the semantic
+// annotation service embeds and matches against (paper §3).
+type Entity struct {
+	ID EntityID
+	// Key is the stable external identifier ("Q42"-style).
+	Key string
+	// Name is the canonical display name.
+	Name string
+	// Aliases are alternative surface forms, used for mention detection.
+	Aliases []string
+	// Description is a short textual gloss used by contextual reranking.
+	Description string
+	// Types are the ontology types of the entity.
+	Types []TypeID
+	// Popularity is a query-log-derived importance prior in [0,1].
+	Popularity float64
+}
+
+// HasType reports whether the entity carries the exact type t.
+func (e *Entity) HasType(t TypeID) bool {
+	for _, et := range e.Types {
+		if et == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Predicate is the metadata record for an edge label.
+type Predicate struct {
+	ID   PredicateID
+	Name string
+	// ValueKind constrains objects of this predicate (0 = unconstrained).
+	ValueKind ValueKind
+	// Functional predicates admit at most one current object per subject
+	// (date of birth, capital). ODKE uses this to detect stale facts.
+	Functional bool
+}
+
+// Graph is an in-memory triple store with entity/predicate dictionaries,
+// SPO/POS/OSP indexes, and a mutation log. It is safe for concurrent use;
+// reads take a shared lock.
+//
+// Index layout:
+//
+//	spo: subject -> predicate -> []Triple        (fact lookup, outgoing)
+//	pos: predicate -> object-key -> []EntityID   (reverse fact lookup)
+//	osp: object-entity -> []Triple               (incoming entity edges)
+type Graph struct {
+	mu sync.RWMutex
+
+	ontology *Ontology
+
+	entities   []*Entity // EntityID -> *Entity (index 0 unused)
+	entByKey   map[string]EntityID
+	predicates []*Predicate // PredicateID -> *Predicate (index 0 unused)
+	predByName map[string]PredicateID
+
+	spo map[EntityID]map[PredicateID][]Triple
+	pos map[PredicateID]map[string][]EntityID
+	osp map[EntityID][]Triple
+
+	predCount map[PredicateID]int // triples per predicate, for frequency filtering
+
+	log        []Mutation
+	nextSeq    uint64
+	tripleKeys map[string]struct{} // SPO identity set for dedup
+}
+
+// NewGraph returns an empty graph with a fresh ontology.
+func NewGraph() *Graph {
+	return &Graph{
+		ontology:   NewOntology(),
+		entities:   []*Entity{nil},
+		entByKey:   make(map[string]EntityID),
+		predicates: []*Predicate{nil},
+		predByName: make(map[string]PredicateID),
+		spo:        make(map[EntityID]map[PredicateID][]Triple),
+		pos:        make(map[PredicateID]map[string][]EntityID),
+		osp:        make(map[EntityID][]Triple),
+		predCount:  make(map[PredicateID]int),
+		tripleKeys: make(map[string]struct{}),
+	}
+}
+
+// Ontology returns the graph's ontology.
+func (g *Graph) Ontology() *Ontology { return g.ontology }
+
+// AddEntity registers an entity. The Key must be unique; re-adding an
+// existing key returns the existing ID without modifying the record.
+func (g *Graph) AddEntity(e Entity) (EntityID, error) {
+	if e.Key == "" {
+		return NoEntity, fmt.Errorf("kg: entity key must be non-empty")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.entByKey[e.Key]; ok {
+		return id, nil
+	}
+	id := EntityID(len(g.entities))
+	e.ID = id
+	stored := e
+	g.entities = append(g.entities, &stored)
+	g.entByKey[e.Key] = id
+	return id, nil
+}
+
+// Entity returns the entity record for id, or nil if unknown. The returned
+// pointer must be treated as read-only.
+func (g *Graph) Entity(id EntityID) *Entity {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(id) >= len(g.entities) {
+		return nil
+	}
+	return g.entities[id]
+}
+
+// EntityByKey resolves an external key to an entity record.
+func (g *Graph) EntityByKey(key string) (*Entity, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.entByKey[key]
+	if !ok {
+		return nil, false
+	}
+	return g.entities[id], true
+}
+
+// SetPopularity updates an entity's popularity prior.
+func (g *Graph) SetPopularity(id EntityID, pop float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if int(id) < len(g.entities) && g.entities[id] != nil {
+		g.entities[id].Popularity = pop
+	}
+}
+
+// AddPredicate registers a predicate, returning the existing ID if the name
+// is already registered.
+func (g *Graph) AddPredicate(p Predicate) (PredicateID, error) {
+	if p.Name == "" {
+		return NoPredicate, fmt.Errorf("kg: predicate name must be non-empty")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.predByName[p.Name]; ok {
+		return id, nil
+	}
+	id := PredicateID(len(g.predicates))
+	p.ID = id
+	stored := p
+	g.predicates = append(g.predicates, &stored)
+	g.predByName[p.Name] = id
+	return id, nil
+}
+
+// Predicate returns the predicate record for id, or nil if unknown.
+func (g *Graph) Predicate(id PredicateID) *Predicate {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(id) >= len(g.predicates) {
+		return nil
+	}
+	return g.predicates[id]
+}
+
+// PredicateByName resolves a predicate name.
+func (g *Graph) PredicateByName(name string) (*Predicate, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.predByName[name]
+	if !ok {
+		return nil, false
+	}
+	return g.predicates[id], true
+}
+
+// Assert adds a triple to the graph and appends an OpAssert mutation.
+// Asserting a fact with identical SPO identity is a no-op (provenance of
+// the first assertion wins; use Retract+Assert to replace).
+func (g *Graph) Assert(t Triple) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.assertLocked(t)
+}
+
+// AssertAll adds a batch of triples under a single lock acquisition.
+func (g *Graph) AssertAll(ts []Triple) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, t := range ts {
+		if err := g.assertLocked(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Graph) assertLocked(t Triple) error {
+	if int(t.Subject) >= len(g.entities) || t.Subject == NoEntity {
+		return fmt.Errorf("kg: assert: unknown subject %v", t.Subject)
+	}
+	if int(t.Predicate) >= len(g.predicates) || t.Predicate == NoPredicate {
+		return fmt.Errorf("kg: assert: unknown predicate %v", t.Predicate)
+	}
+	if t.Object.Kind == 0 {
+		return fmt.Errorf("kg: assert: invalid object value")
+	}
+	if t.Object.IsEntity() && (int(t.Object.Entity) >= len(g.entities) || t.Object.Entity == NoEntity) {
+		return fmt.Errorf("kg: assert: unknown object entity %v", t.Object.Entity)
+	}
+	key := t.SPO()
+	if _, dup := g.tripleKeys[key]; dup {
+		return nil
+	}
+	g.tripleKeys[key] = struct{}{}
+
+	bySubj := g.spo[t.Subject]
+	if bySubj == nil {
+		bySubj = make(map[PredicateID][]Triple)
+		g.spo[t.Subject] = bySubj
+	}
+	bySubj[t.Predicate] = append(bySubj[t.Predicate], t)
+
+	byPred := g.pos[t.Predicate]
+	if byPred == nil {
+		byPred = make(map[string][]EntityID)
+		g.pos[t.Predicate] = byPred
+	}
+	ok := t.Object.Key()
+	byPred[ok] = append(byPred[ok], t.Subject)
+
+	if t.Object.IsEntity() {
+		g.osp[t.Object.Entity] = append(g.osp[t.Object.Entity], t)
+	}
+	g.predCount[t.Predicate]++
+
+	g.nextSeq++
+	g.log = append(g.log, Mutation{Seq: g.nextSeq, Op: OpAssert, T: t})
+	return nil
+}
+
+// Retract removes the fact with the same SPO identity as t, if present,
+// and appends an OpRetract mutation. It reports whether a fact was removed.
+func (g *Graph) Retract(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := t.SPO()
+	if _, ok := g.tripleKeys[key]; !ok {
+		return false
+	}
+	delete(g.tripleKeys, key)
+
+	if bySubj := g.spo[t.Subject]; bySubj != nil {
+		bySubj[t.Predicate] = removeTriple(bySubj[t.Predicate], t)
+		if len(bySubj[t.Predicate]) == 0 {
+			delete(bySubj, t.Predicate)
+		}
+	}
+	if byPred := g.pos[t.Predicate]; byPred != nil {
+		ok := t.Object.Key()
+		byPred[ok] = removeEntity(byPred[ok], t.Subject)
+		if len(byPred[ok]) == 0 {
+			delete(byPred, ok)
+		}
+	}
+	if t.Object.IsEntity() {
+		g.osp[t.Object.Entity] = removeTriple(g.osp[t.Object.Entity], t)
+	}
+	g.predCount[t.Predicate]--
+
+	g.nextSeq++
+	g.log = append(g.log, Mutation{Seq: g.nextSeq, Op: OpRetract, T: t})
+	return true
+}
+
+func removeTriple(ts []Triple, t Triple) []Triple {
+	for i := range ts {
+		if ts[i].Subject == t.Subject && ts[i].Predicate == t.Predicate && ts[i].Object.Equal(t.Object) {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+func removeEntity(es []EntityID, e EntityID) []EntityID {
+	for i := range es {
+		if es[i] == e {
+			return append(es[:i], es[i+1:]...)
+		}
+	}
+	return es
+}
+
+// Facts returns all triples with the given subject and predicate.
+func (g *Graph) Facts(subj EntityID, pred PredicateID) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	bySubj := g.spo[subj]
+	if bySubj == nil {
+		return nil
+	}
+	ts := bySubj[pred]
+	out := make([]Triple, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// Outgoing returns every triple whose subject is subj.
+func (g *Graph) Outgoing(subj EntityID) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Triple
+	for _, ts := range g.spo[subj] {
+		out = append(out, ts...)
+	}
+	return out
+}
+
+// Incoming returns every triple whose object is the entity obj.
+func (g *Graph) Incoming(obj EntityID) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ts := g.osp[obj]
+	out := make([]Triple, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// SubjectsWith returns the subjects that carry (pred, obj) facts.
+func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	byPred := g.pos[pred]
+	if byPred == nil {
+		return nil
+	}
+	es := byPred[obj.Key()]
+	out := make([]EntityID, len(es))
+	copy(out, es)
+	return out
+}
+
+// HasFact reports whether the exact fact (ignoring provenance) is asserted.
+func (g *Graph) HasFact(subj EntityID, pred PredicateID, obj Value) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.tripleKeys[Triple{Subject: subj, Predicate: pred, Object: obj}.SPO()]
+	return ok
+}
+
+// NumEntities returns the number of registered entities.
+func (g *Graph) NumEntities() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entities) - 1
+}
+
+// NumPredicates returns the number of registered predicates.
+func (g *Graph) NumPredicates() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.predicates) - 1
+}
+
+// NumTriples returns the number of asserted facts.
+func (g *Graph) NumTriples() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.tripleKeys)
+}
+
+// PredicateFrequency returns the current number of triples using pred.
+func (g *Graph) PredicateFrequency(pred PredicateID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.predCount[pred]
+}
+
+// Triples streams every asserted triple to fn in unspecified order,
+// stopping early if fn returns false. The graph lock is held for the
+// duration; fn must not mutate the graph.
+func (g *Graph) Triples(fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, bySubj := range g.spo {
+		for _, ts := range bySubj {
+			for _, t := range ts {
+				if !fn(t) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// AllTriples materializes every asserted triple in a deterministic order
+// (by subject, then predicate, then object key).
+func (g *Graph) AllTriples() []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Triple, 0, len(g.tripleKeys))
+	subjects := make([]EntityID, 0, len(g.spo))
+	for s := range g.spo {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, s := range subjects {
+		bySubj := g.spo[s]
+		preds := make([]PredicateID, 0, len(bySubj))
+		for p := range bySubj {
+			preds = append(preds, p)
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		for _, p := range preds {
+			ts := append([]Triple(nil), bySubj[p]...)
+			sort.Slice(ts, func(i, j int) bool { return ts[i].Object.Key() < ts[j].Object.Key() })
+			out = append(out, ts...)
+		}
+	}
+	return out
+}
+
+// Entities streams every entity record to fn, stopping early if fn
+// returns false.
+func (g *Graph) Entities(fn func(*Entity) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, e := range g.entities[1:] {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Predicates streams every predicate record to fn.
+func (g *Graph) Predicates(fn func(*Predicate) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, p := range g.predicates[1:] {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// MutationsSince returns a copy of the mutation log entries with sequence
+// numbers strictly greater than seq.
+func (g *Graph) MutationsSince(seq uint64) []Mutation {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	i := sort.Search(len(g.log), func(i int) bool { return g.log[i].Seq > seq })
+	out := make([]Mutation, len(g.log)-i)
+	copy(out, g.log[i:])
+	return out
+}
+
+// LastSeq returns the sequence number of the most recent mutation.
+func (g *Graph) LastSeq() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nextSeq
+}

@@ -1,0 +1,170 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ontology is the type system of the knowledge graph: a forest of types
+// connected by subtype-of edges. Entities are assigned one or more types;
+// queries like "movies" → ontology_type_movie (paper §1) resolve against
+// it, and the annotation service uses it for type-compatibility scoring.
+//
+// Ontology is safe for concurrent use.
+type Ontology struct {
+	mu     sync.RWMutex
+	names  []string // TypeID -> name (index 0 unused)
+	byName map[string]TypeID
+	parent []TypeID // TypeID -> parent (NoType for roots)
+	// children is derived and maintained incrementally.
+	children map[TypeID][]TypeID
+}
+
+// NewOntology returns an empty ontology.
+func NewOntology() *Ontology {
+	return &Ontology{
+		names:    []string{""},
+		byName:   make(map[string]TypeID),
+		parent:   []TypeID{NoType},
+		children: make(map[TypeID][]TypeID),
+	}
+}
+
+// AddType registers a type under the given parent. parent == NoType creates
+// a root type. Adding an existing name returns the existing ID (the parent
+// must match, otherwise an error is returned).
+func (o *Ontology) AddType(name string, parent TypeID) (TypeID, error) {
+	if name == "" {
+		return NoType, fmt.Errorf("kg: empty type name")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.byName[name]; ok {
+		if o.parent[id] != parent {
+			return NoType, fmt.Errorf("kg: type %q already exists with different parent", name)
+		}
+		return id, nil
+	}
+	if parent != NoType && int(parent) >= len(o.names) {
+		return NoType, fmt.Errorf("kg: unknown parent type %v", parent)
+	}
+	id := TypeID(len(o.names))
+	o.names = append(o.names, name)
+	o.parent = append(o.parent, parent)
+	o.byName[name] = id
+	if parent != NoType {
+		o.children[parent] = append(o.children[parent], id)
+	}
+	return id, nil
+}
+
+// TypeID looks up a type by name.
+func (o *Ontology) TypeID(name string) (TypeID, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	id, ok := o.byName[name]
+	return id, ok
+}
+
+// Name returns the name of a type, or "" if unknown.
+func (o *Ontology) Name(id TypeID) string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if int(id) >= len(o.names) {
+		return ""
+	}
+	return o.names[id]
+}
+
+// Parent returns the parent of a type (NoType for roots or unknown types).
+func (o *Ontology) Parent(id TypeID) TypeID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if int(id) >= len(o.parent) {
+		return NoType
+	}
+	return o.parent[id]
+}
+
+// IsA reports whether t is equal to, or a descendant of, ancestor.
+func (o *Ontology) IsA(t, ancestor TypeID) bool {
+	if t == NoType || ancestor == NoType {
+		return false
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for t != NoType {
+		if t == ancestor {
+			return true
+		}
+		if int(t) >= len(o.parent) {
+			return false
+		}
+		t = o.parent[t]
+	}
+	return false
+}
+
+// Ancestors returns the chain from t's parent up to its root, nearest first.
+func (o *Ontology) Ancestors(t TypeID) []TypeID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []TypeID
+	for int(t) < len(o.parent) {
+		p := o.parent[t]
+		if p == NoType {
+			break
+		}
+		out = append(out, p)
+		t = p
+	}
+	return out
+}
+
+// Children returns the direct subtypes of t in insertion order.
+func (o *Ontology) Children(t TypeID) []TypeID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	kids := o.children[t]
+	out := make([]TypeID, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// LCA returns the lowest common ancestor of a and b, or NoType when the
+// two types live in different trees. It is used by the contextual reranker
+// as a crude type-similarity signal.
+func (o *Ontology) LCA(a, b TypeID) TypeID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	seen := make(map[TypeID]bool)
+	for t := a; t != NoType && int(t) < len(o.parent); t = o.parent[t] {
+		seen[t] = true
+	}
+	for t := b; t != NoType && int(t) < len(o.parent); t = o.parent[t] {
+		if seen[t] {
+			return t
+		}
+	}
+	return NoType
+}
+
+// Len returns the number of registered types.
+func (o *Ontology) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.names) - 1
+}
+
+// TypeNames returns all registered type names, sorted.
+func (o *Ontology) TypeNames() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.byName))
+	for name := range o.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+package kg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildTestOntology(t *testing.T) (*Ontology, map[string]TypeID) {
+	t.Helper()
+	o := NewOntology()
+	ids := make(map[string]TypeID)
+	add := func(name string, parent string) {
+		var pid TypeID
+		if parent != "" {
+			pid = ids[parent]
+		}
+		id, err := o.AddType(name, pid)
+		if err != nil {
+			t.Fatalf("AddType(%q): %v", name, err)
+		}
+		ids[name] = id
+	}
+	add("Thing", "")
+	add("Person", "Thing")
+	add("Athlete", "Person")
+	add("BasketballPlayer", "Athlete")
+	add("Academic", "Person")
+	add("CreativeWork", "Thing")
+	add("Movie", "CreativeWork")
+	return o, ids
+}
+
+func TestOntologyIsA(t *testing.T) {
+	o, ids := buildTestOntology(t)
+	cases := []struct {
+		t, anc string
+		want   bool
+	}{
+		{"BasketballPlayer", "Athlete", true},
+		{"BasketballPlayer", "Person", true},
+		{"BasketballPlayer", "Thing", true},
+		{"BasketballPlayer", "BasketballPlayer", true},
+		{"Athlete", "BasketballPlayer", false},
+		{"Movie", "Person", false},
+		{"Academic", "Athlete", false},
+	}
+	for _, c := range cases {
+		if got := o.IsA(ids[c.t], ids[c.anc]); got != c.want {
+			t.Errorf("IsA(%s,%s) = %v, want %v", c.t, c.anc, got, c.want)
+		}
+	}
+	if o.IsA(NoType, ids["Thing"]) || o.IsA(ids["Thing"], NoType) {
+		t.Error("IsA with NoType must be false")
+	}
+}
+
+func TestOntologyLCA(t *testing.T) {
+	o, ids := buildTestOntology(t)
+	if got := o.LCA(ids["BasketballPlayer"], ids["Academic"]); got != ids["Person"] {
+		t.Fatalf("LCA(BasketballPlayer,Academic) = %v, want Person", o.Name(got))
+	}
+	if got := o.LCA(ids["Movie"], ids["Athlete"]); got != ids["Thing"] {
+		t.Fatalf("LCA(Movie,Athlete) = %v, want Thing", o.Name(got))
+	}
+	if got := o.LCA(ids["Movie"], ids["Movie"]); got != ids["Movie"] {
+		t.Fatalf("LCA(Movie,Movie) = %v, want Movie", o.Name(got))
+	}
+}
+
+func TestOntologyAncestorsAndChildren(t *testing.T) {
+	o, ids := buildTestOntology(t)
+	anc := o.Ancestors(ids["BasketballPlayer"])
+	want := []TypeID{ids["Athlete"], ids["Person"], ids["Thing"]}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", anc, want)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors[%d] = %v, want %v", i, anc[i], want[i])
+		}
+	}
+	kids := o.Children(ids["Person"])
+	if len(kids) != 2 {
+		t.Fatalf("Children(Person) = %v, want 2", kids)
+	}
+}
+
+func TestOntologyDuplicateAndErrors(t *testing.T) {
+	o, ids := buildTestOntology(t)
+	again, err := o.AddType("Person", ids["Thing"])
+	if err != nil || again != ids["Person"] {
+		t.Fatalf("re-adding Person: id=%v err=%v", again, err)
+	}
+	if _, err := o.AddType("Person", ids["CreativeWork"]); err == nil {
+		t.Fatal("conflicting parent accepted")
+	}
+	if _, err := o.AddType("", NoType); err == nil {
+		t.Fatal("empty type name accepted")
+	}
+	if _, err := o.AddType("Orphan", TypeID(999)); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if o.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", o.Len())
+	}
+	names := o.TypeNames()
+	if len(names) != 7 || names[0] > names[len(names)-1] {
+		t.Fatalf("TypeNames not sorted or wrong length: %v", names)
+	}
+}
+
+// Property: for every type in a randomly generated chain ontology,
+// IsA(t, root) holds, and LCA(a, b) is an ancestor-or-self of both.
+func TestOntologyPropertyLCA(t *testing.T) {
+	f := func(depthsRaw []uint8) bool {
+		o := NewOntology()
+		root, _ := o.AddType("root", NoType)
+		// Build a random tree: each new node attaches to a previously
+		// created node chosen by the fuzzed byte.
+		nodes := []TypeID{root}
+		for i, b := range depthsRaw {
+			if i >= 40 {
+				break
+			}
+			parent := nodes[int(b)%len(nodes)]
+			id, err := o.AddType(nodeName(i), parent)
+			if err != nil {
+				return false
+			}
+			nodes = append(nodes, id)
+		}
+		for i := 0; i < len(nodes); i++ {
+			if !o.IsA(nodes[i], root) {
+				return false
+			}
+			j := (i * 7) % len(nodes)
+			l := o.LCA(nodes[i], nodes[j])
+			if l == NoType {
+				return false
+			}
+			if !o.IsA(nodes[i], l) || !o.IsA(nodes[j], l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(i int) string {
+	return "t" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}

@@ -1,0 +1,72 @@
+package kg
+
+import (
+	"fmt"
+	"time"
+)
+
+// Provenance records where a fact came from and how much we trust it.
+// The ODKE corroboration model (§4 of the paper) consumes these fields as
+// features: extractor type and confidence, source quality, and recency.
+type Provenance struct {
+	// Source names the origin: a curated feed, an extractor id, a device
+	// source ("contacts", "calendar"), etc.
+	Source string
+	// Confidence in [0,1] as reported by the producing system.
+	Confidence float64
+	// ObservedAt is when the fact was ingested or extracted.
+	ObservedAt time.Time
+	// SourceQuality in [0,1] is a prior on the source (page quality for web
+	// extraction, feed trust for curated sources).
+	SourceQuality float64
+}
+
+// Triple is a single fact: subject, predicate, object, with provenance.
+type Triple struct {
+	Subject   EntityID
+	Predicate PredicateID
+	Object    Value
+	Prov      Provenance
+}
+
+// SPO returns the (subject, predicate, object-key) identity of the triple,
+// ignoring provenance. Two triples with equal SPO assert the same fact.
+func (t Triple) SPO() string {
+	return fmt.Sprintf("%d|%d|%s", t.Subject, t.Predicate, t.Object.Key())
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", t.Subject, t.Predicate, t.Object)
+}
+
+// MutationOp is the kind of change recorded in the mutation log.
+type MutationOp uint8
+
+const (
+	// OpAssert adds a fact.
+	OpAssert MutationOp = iota + 1
+	// OpRetract removes a fact.
+	OpRetract
+)
+
+func (op MutationOp) String() string {
+	switch op {
+	case OpAssert:
+		return "assert"
+	case OpRetract:
+		return "retract"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Mutation is one entry in the graph's mutation log. The log gives
+// downstream consumers (materialized views, annotation freshness, sync)
+// a totally ordered change feed, which is how Saga's streaming
+// construction path exposes updates.
+type Mutation struct {
+	// Seq is the 1-based sequence number of the mutation.
+	Seq uint64
+	Op  MutationOp
+	T   Triple
+}

@@ -1,0 +1,159 @@
+package kg
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ValueKind discriminates the kinds of objects a triple can point at.
+// Open-domain KGs mix entity-valued facts (LeBron James -occupation->
+// Basketball Player) with literal-valued facts (height, dates, external
+// identifiers). The distinction matters downstream: §2 of the paper filters
+// literal-valued "non-relevant" facts out of embedding training views.
+type ValueKind uint8
+
+const (
+	// KindEntity is an object that references another entity in the graph.
+	KindEntity ValueKind = iota + 1
+	// KindString is a free-text literal.
+	KindString
+	// KindInt is an integer literal.
+	KindInt
+	// KindFloat is a floating-point literal.
+	KindFloat
+	// KindTime is a timestamp literal (dates of birth, release dates...).
+	KindTime
+	// KindBool is a boolean literal.
+	KindBool
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindEntity:
+		return "entity"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindTime:
+		return "time"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is the object position of a triple: either an entity reference or a
+// typed literal. The zero Value is invalid.
+type Value struct {
+	Kind ValueKind
+	// Entity is set when Kind == KindEntity.
+	Entity EntityID
+	// Str is set when Kind == KindString.
+	Str string
+	// Num holds KindInt (as int64) and KindBool (0/1).
+	Num int64
+	// Flt is set when Kind == KindFloat.
+	Flt float64
+	// TS is set when Kind == KindTime.
+	TS time.Time
+}
+
+// EntityValue returns a Value referencing an entity.
+func EntityValue(id EntityID) Value { return Value{Kind: KindEntity, Entity: id} }
+
+// StringValue returns a string-literal Value.
+func StringValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// IntValue returns an integer-literal Value.
+func IntValue(n int64) Value { return Value{Kind: KindInt, Num: n} }
+
+// FloatValue returns a float-literal Value.
+func FloatValue(f float64) Value { return Value{Kind: KindFloat, Flt: f} }
+
+// TimeValue returns a timestamp-literal Value.
+func TimeValue(t time.Time) Value { return Value{Kind: KindTime, TS: t.UTC()} }
+
+// BoolValue returns a boolean-literal Value.
+func BoolValue(b bool) Value {
+	v := Value{Kind: KindBool}
+	if b {
+		v.Num = 1
+	}
+	return v
+}
+
+// IsEntity reports whether the value references an entity.
+func (v Value) IsEntity() bool { return v.Kind == KindEntity }
+
+// IsLiteral reports whether the value is any literal kind.
+func (v Value) IsLiteral() bool { return v.Kind != KindEntity && v.Kind != 0 }
+
+// Bool returns the boolean payload of a KindBool value.
+func (v Value) Bool() bool { return v.Kind == KindBool && v.Num != 0 }
+
+// Equal reports deep equality of two values. Time values compare with
+// time.Time.Equal so location differences do not break equality.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindEntity:
+		return v.Entity == o.Entity
+	case KindString:
+		return v.Str == o.Str
+	case KindInt, KindBool:
+		return v.Num == o.Num
+	case KindFloat:
+		return v.Flt == o.Flt
+	case KindTime:
+		return v.TS.Equal(o.TS)
+	default:
+		return false
+	}
+}
+
+// Key returns a string that uniquely identifies the value within its kind.
+// It is used as a map key by the POS index and by fusion grouping.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindEntity:
+		return "e:" + strconv.FormatUint(uint64(v.Entity), 10)
+	case KindString:
+		return "s:" + v.Str
+	case KindInt:
+		return "i:" + strconv.FormatInt(v.Num, 10)
+	case KindBool:
+		return "b:" + strconv.FormatInt(v.Num, 10)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	case KindTime:
+		return "t:" + strconv.FormatInt(v.TS.UnixNano(), 10)
+	default:
+		return "?"
+	}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindEntity:
+		return v.Entity.String()
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindInt:
+		return strconv.FormatInt(v.Num, 10)
+	case KindBool:
+		return strconv.FormatBool(v.Num != 0)
+	case KindFloat:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	case KindTime:
+		return v.TS.Format("2006-01-02")
+	default:
+		return "<invalid>"
+	}
+}

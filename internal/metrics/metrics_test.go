@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMRR(t *testing.T) {
+	if got := MRR([]int{1, 2, 4}); !almost(got, (1+0.5+0.25)/3) {
+		t.Fatalf("MRR = %v", got)
+	}
+	if got := MRR([]int{0, 0}); got != 0 {
+		t.Fatalf("MRR of misses = %v", got)
+	}
+	if got := MRR(nil); got != 0 {
+		t.Fatalf("MRR(nil) = %v", got)
+	}
+}
+
+func TestHitsAt(t *testing.T) {
+	ranks := []int{1, 3, 11, 0}
+	if got := HitsAt(1, ranks); !almost(got, 0.25) {
+		t.Fatalf("Hits@1 = %v", got)
+	}
+	if got := HitsAt(10, ranks); !almost(got, 0.5) {
+		t.Fatalf("Hits@10 = %v", got)
+	}
+	if got := HitsAt(100, ranks); !almost(got, 0.75) {
+		t.Fatalf("Hits@100 = %v (rank 0 is a miss)", got)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	rel := map[string]bool{"a": true, "b": true, "c": true}
+	ret := []string{"a", "x", "b", "y"}
+	if got := PrecisionAtK(ret, rel, 2); !almost(got, 0.5) {
+		t.Fatalf("P@2 = %v", got)
+	}
+	if got := RecallAtK(ret, rel, 4); !almost(got, 2.0/3.0) {
+		t.Fatalf("R@4 = %v", got)
+	}
+	if got := PrecisionAtK(ret, rel, 0); got != 0 {
+		t.Fatalf("P@0 = %v", got)
+	}
+	if got := PrecisionAtK(ret, rel, 100); !almost(got, 0.5) {
+		t.Fatalf("P@100 clamps to len: %v", got)
+	}
+	if got := RecallAtK(ret, map[string]bool{}, 4); got != 0 {
+		t.Fatalf("recall with empty relevant = %v", got)
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	// Perfect ordering yields 1.
+	if got := NDCGAtK([]float64{3, 2, 1}, 3); !almost(got, 1) {
+		t.Fatalf("NDCG perfect = %v", got)
+	}
+	// Reversed ordering yields < 1.
+	if got := NDCGAtK([]float64{1, 2, 3}, 3); got >= 1 || got <= 0 {
+		t.Fatalf("NDCG reversed = %v", got)
+	}
+	if got := NDCGAtK([]float64{0, 0}, 2); got != 0 {
+		t.Fatalf("NDCG all-zero = %v", got)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, false)
+	c.Add(false, true)
+	if !almost(c.Precision(), 0.5) || !almost(c.Recall(), 0.5) || !almost(c.F1(), 0.5) || !almost(c.Accuracy(), 0.5) {
+		t.Fatalf("confusion = %+v p=%v r=%v f1=%v acc=%v", c, c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+	}
+	var empty Confusion
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 || empty.Accuracy() != 0 {
+		t.Fatal("empty confusion must be all zeros")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	if got := AUC([]float64{0.9, 0.8}, []float64{0.1, 0.2}); !almost(got, 1) {
+		t.Fatalf("separable AUC = %v", got)
+	}
+	if got := AUC([]float64{0.1}, []float64{0.9}); !almost(got, 0) {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	if got := AUC([]float64{0.5}, []float64{0.5}); !almost(got, 0.5) {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	if got := AUC(nil, []float64{1}); got != 0 {
+		t.Fatalf("empty AUC = %v", got)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Mean(xs), 2.5) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if !almost(Stddev(xs), math.Sqrt(1.25)) {
+		t.Fatalf("Stddev = %v", Stddev(xs))
+	}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 || Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty-input stats must be 0")
+	}
+}
+
+// Property: AUC is invariant under any order-preserving transformation of
+// scores, and always within [0,1].
+func TestAUCProperties(t *testing.T) {
+	f := func(pos, neg []float64) bool {
+		if len(pos) == 0 || len(neg) == 0 {
+			return true
+		}
+		for _, x := range append(append([]float64{}, pos...), neg...) {
+			// Skip values where 3*x+1 would overflow or lose ordering.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		a := AUC(pos, neg)
+		if a < 0 || a > 1 {
+			return false
+		}
+		mono := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, x := range xs {
+				out[i] = 3*x + 1 // strictly increasing
+			}
+			return out
+		}
+		return almost(a, AUC(mono(pos), mono(neg)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HitsAt is monotone in k and MRR <= Hits@∞.
+func TestRankingProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ranks := make([]int, 0, len(raw))
+		for _, r := range raw {
+			ranks = append(ranks, int(r%200))
+		}
+		if len(ranks) == 0 {
+			return true
+		}
+		prev := 0.0
+		for k := 1; k <= 64; k *= 2 {
+			h := HitsAt(k, ranks)
+			if h < prev {
+				return false
+			}
+			prev = h
+		}
+		return MRR(ranks) <= HitsAt(1<<30, ranks)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

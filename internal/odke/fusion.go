@@ -1,0 +1,234 @@
+package odke
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"saga/internal/kg"
+)
+
+// Fusion (Fig 6 ⑤): candidates for one fact slot are grouped by value and
+// each distinct value is scored from corroboration features — "a
+// combination of evidences such as the number of support, extractor type
+// and confidence, and quality of the source page" (§4). A trained
+// logistic-regression fuser is the primary model; majority vote and
+// best-single-extractor are the baselines experiment E7 compares against.
+
+// ValueGroup aggregates all candidates proposing the same value for one
+// (subject, predicate) slot.
+type ValueGroup struct {
+	Value      kg.Value
+	Candidates []CandidateFact
+}
+
+// FusionFeatures are the per-value corroboration features.
+type FusionFeatures struct {
+	// Support is the number of distinct documents proposing the value.
+	Support float64
+	// MaxConfidence is the highest extractor confidence among supporters.
+	MaxConfidence float64
+	// MeanQuality is the mean source-page quality.
+	MeanQuality float64
+	// HasInfobox / HasText flag extractor families among supporters.
+	HasInfobox float64
+	HasText    float64
+	// AgreementRatio is this value's support over the slot's total
+	// candidate count.
+	AgreementRatio float64
+}
+
+func (f FusionFeatures) vector() []float64 {
+	return []float64{f.Support, f.MaxConfidence, f.MeanQuality, f.HasInfobox, f.HasText, f.AgreementRatio}
+}
+
+const numFusionFeatures = 6
+
+// GroupCandidates buckets candidates by value identity and computes each
+// group's features. Groups are returned sorted by descending support for
+// determinism.
+func GroupCandidates(cands []CandidateFact) []ValueGroup {
+	byKey := make(map[string]*ValueGroup)
+	var order []string
+	for _, c := range cands {
+		k := c.Value.Key()
+		g := byKey[k]
+		if g == nil {
+			g = &ValueGroup{Value: c.Value}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Candidates = append(g.Candidates, c)
+	}
+	out := make([]ValueGroup, 0, len(byKey))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Candidates) != len(out[j].Candidates) {
+			return len(out[i].Candidates) > len(out[j].Candidates)
+		}
+		return out[i].Value.Key() < out[j].Value.Key()
+	})
+	return out
+}
+
+// Features computes the corroboration features of a group given the
+// slot's total candidate count.
+func (g ValueGroup) Features(totalCandidates int) FusionFeatures {
+	var f FusionFeatures
+	docs := make(map[string]bool)
+	var qualSum float64
+	for _, c := range g.Candidates {
+		docs[c.DocID] = true
+		if c.Confidence > f.MaxConfidence {
+			f.MaxConfidence = c.Confidence
+		}
+		qualSum += c.DocQuality
+		switch c.Extractor {
+		case "infobox":
+			f.HasInfobox = 1
+		case "text":
+			f.HasText = 1
+		}
+	}
+	f.Support = float64(len(docs))
+	if len(g.Candidates) > 0 {
+		f.MeanQuality = qualSum / float64(len(g.Candidates))
+	}
+	if totalCandidates > 0 {
+		f.AgreementRatio = float64(len(g.Candidates)) / float64(totalCandidates)
+	}
+	return f
+}
+
+// Fuser scores value groups. Implementations: *LogisticFuser (trained),
+// MajorityVoteFuser and BestExtractorFuser (baselines).
+type Fuser interface {
+	Name() string
+	// Score returns the plausibility of the group being the correct value.
+	Score(g ValueGroup, totalCandidates int) float64
+}
+
+// FuseResult is the chosen value for one slot.
+type FuseResult struct {
+	Value kg.Value
+	Score float64
+	Group ValueGroup
+}
+
+// Fuse picks the best-scoring value group, or false when there are no
+// candidates.
+func Fuse(f Fuser, cands []CandidateFact) (FuseResult, bool) {
+	groups := GroupCandidates(cands)
+	if len(groups) == 0 {
+		return FuseResult{}, false
+	}
+	best := FuseResult{Score: math.Inf(-1)}
+	for _, g := range groups {
+		s := f.Score(g, len(cands))
+		if s > best.Score {
+			best = FuseResult{Value: g.Value, Score: s, Group: g}
+		}
+	}
+	return best, true
+}
+
+// LogisticFuser is a logistic-regression corroboration model over
+// FusionFeatures, trained with gradient descent on labelled value groups.
+type LogisticFuser struct {
+	weights []float64
+	bias    float64
+}
+
+// Name implements Fuser.
+func (l *LogisticFuser) Name() string { return "logistic" }
+
+// Score implements Fuser.
+func (l *LogisticFuser) Score(g ValueGroup, total int) float64 {
+	return l.prob(g.Features(total).vector())
+}
+
+func (l *LogisticFuser) prob(x []float64) float64 {
+	z := l.bias
+	for i, w := range l.weights {
+		z += w * x[i]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// TrainingExample is one labelled value group for fuser training.
+type TrainingExample struct {
+	Features FusionFeatures
+	// Correct marks whether the group's value matched the gold fact.
+	Correct bool
+}
+
+// TrainLogisticFuser fits the model with full-batch gradient descent.
+func TrainLogisticFuser(examples []TrainingExample, epochs int, lr float64) (*LogisticFuser, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("odke: no fusion training examples")
+	}
+	if epochs <= 0 {
+		epochs = 200
+	}
+	if lr <= 0 {
+		lr = 0.5
+	}
+	l := &LogisticFuser{weights: make([]float64, numFusionFeatures)}
+	n := float64(len(examples))
+	for e := 0; e < epochs; e++ {
+		grad := make([]float64, numFusionFeatures)
+		var gradB float64
+		for _, ex := range examples {
+			x := ex.Features.vector()
+			p := l.prob(x)
+			y := 0.0
+			if ex.Correct {
+				y = 1
+			}
+			d := p - y
+			for i := range grad {
+				grad[i] += d * x[i]
+			}
+			gradB += d
+		}
+		for i := range l.weights {
+			l.weights[i] -= lr * grad[i] / n
+		}
+		l.bias -= lr * gradB / n
+	}
+	return l, nil
+}
+
+// MajorityVoteFuser scores a group purely by its share of the vote.
+type MajorityVoteFuser struct{}
+
+// Name implements Fuser.
+func (MajorityVoteFuser) Name() string { return "majority" }
+
+// Score implements Fuser.
+func (MajorityVoteFuser) Score(g ValueGroup, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(len(g.Candidates)) / float64(total)
+}
+
+// BestExtractorFuser trusts the single highest-confidence candidate,
+// ignoring corroboration — the "one good extractor is enough" strawman.
+type BestExtractorFuser struct{}
+
+// Name implements Fuser.
+func (BestExtractorFuser) Name() string { return "best-extractor" }
+
+// Score implements Fuser.
+func (BestExtractorFuser) Score(g ValueGroup, total int) float64 {
+	var best float64
+	for _, c := range g.Candidates {
+		if c.Confidence > best {
+			best = c.Confidence
+		}
+	}
+	return best
+}

@@ -1,0 +1,144 @@
+package odke
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"saga/internal/kg"
+)
+
+// Property: MajorityVoteFuser always selects a value with the largest
+// candidate count, and Fuse is deterministic.
+func TestMajorityFuserPicksPlurality(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cands := make([]CandidateFact, 0, len(raw))
+		counts := make(map[string]int)
+		for i, b := range raw {
+			val := kg.IntValue(int64(b % 5))
+			cands = append(cands, CandidateFact{
+				Value:      val,
+				Extractor:  "text",
+				Confidence: 0.5,
+				DocID:      fmt.Sprintf("d%d", i),
+				DocQuality: 0.5,
+			})
+			counts[val.Key()]++
+		}
+		res, ok := Fuse(MajorityVoteFuser{}, cands)
+		if !ok {
+			return false
+		}
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		if counts[res.Value.Key()] != maxCount {
+			return false
+		}
+		// Deterministic under repetition.
+		res2, _ := Fuse(MajorityVoteFuser{}, cands)
+		return res.Value.Equal(res2.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BestExtractorFuser picks a group containing the globally
+// most confident candidate.
+func TestBestExtractorPicksMaxConfidence(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cands := make([]CandidateFact, 0, len(raw))
+		var maxConf float64
+		for i, b := range raw {
+			conf := float64(b%100) / 100
+			if conf > maxConf {
+				maxConf = conf
+			}
+			cands = append(cands, CandidateFact{
+				Value:      kg.IntValue(int64(b % 4)),
+				Extractor:  "infobox",
+				Confidence: conf,
+				DocID:      fmt.Sprintf("d%d", i),
+			})
+		}
+		res, ok := Fuse(BestExtractorFuser{}, cands)
+		if !ok {
+			return false
+		}
+		var groupMax float64
+		for _, c := range res.Group.Candidates {
+			if c.Confidence > groupMax {
+				groupMax = c.Confidence
+			}
+		}
+		return groupMax == maxConf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: group features are well-formed — support counts distinct
+// docs, agreement ratios over a slot sum to 1, flags are 0/1.
+func TestGroupFeatureInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cands := make([]CandidateFact, 0, len(raw))
+		for i, b := range raw {
+			ext := "text"
+			if b%2 == 0 {
+				ext = "infobox"
+			}
+			cands = append(cands, CandidateFact{
+				Value:      kg.IntValue(int64(b % 3)),
+				Extractor:  ext,
+				Confidence: float64(b) / 255,
+				DocID:      fmt.Sprintf("d%d", i%7), // collisions on purpose
+				DocQuality: 0.5,
+			})
+		}
+		groups := GroupCandidates(cands)
+		var agreeSum float64
+		var members int
+		for _, g := range groups {
+			feat := g.Features(len(cands))
+			agreeSum += feat.AgreementRatio
+			members += len(g.Candidates)
+			docs := make(map[string]bool)
+			for _, c := range g.Candidates {
+				docs[c.DocID] = true
+			}
+			if int(feat.Support) != len(docs) {
+				return false
+			}
+			if feat.HasInfobox != 0 && feat.HasInfobox != 1 {
+				return false
+			}
+			if feat.HasText != 0 && feat.HasText != 1 {
+				return false
+			}
+			if feat.MaxConfidence < 0 || feat.MaxConfidence > 1 {
+				return false
+			}
+		}
+		if members != len(cands) {
+			return false
+		}
+		return agreeSum > 0.999 && agreeSum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

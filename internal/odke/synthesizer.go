@@ -1,0 +1,57 @@
+package odke
+
+import (
+	"fmt"
+
+	"saga/internal/kg"
+)
+
+// SynthesizeQueries turns a knowledge gap into multiple Web-search query
+// strings, following Fig 6 ②: the missing fact ⟨Michelle Williams,
+// date_of_birth, ?⟩ becomes "michelle williams date of birth", "michelle
+// williams born", etc. Multiple phrasings raise the chance of retrieving
+// a page that states the fact.
+func SynthesizeQueries(g *kg.Graph, gap Gap) []string {
+	ent := g.Entity(gap.Subject)
+	pred := g.Predicate(gap.Predicate)
+	if ent == nil || pred == nil {
+		return nil
+	}
+	name := ent.Name
+	var out []string
+	add := func(q string) { out = append(out, q) }
+
+	switch pred.Name {
+	case "dateOfBirth":
+		add(fmt.Sprintf("%s date of birth", name))
+		add(fmt.Sprintf("%s born", name))
+		add(fmt.Sprintf("when was %s born", name))
+	case "memberOf":
+		add(fmt.Sprintf("%s team", name))
+		add(fmt.Sprintf("%s plays for", name))
+		add(fmt.Sprintf("%s member of", name))
+	case "bornIn":
+		add(fmt.Sprintf("%s birthplace", name))
+		add(fmt.Sprintf("%s born in", name))
+		add(fmt.Sprintf("%s from", name))
+	case "occupation":
+		add(fmt.Sprintf("%s occupation", name))
+		add(fmt.Sprintf("%s profession", name))
+		add(fmt.Sprintf("what does %s do", name))
+	case "award":
+		add(fmt.Sprintf("%s award", name))
+		add(fmt.Sprintf("%s prize won", name))
+	case "spouse":
+		add(fmt.Sprintf("%s spouse", name))
+		add(fmt.Sprintf("%s married to", name))
+	default:
+		add(fmt.Sprintf("%s %s", name, pred.Name))
+		add(name)
+	}
+	// A bare-name query is always a useful fallback: profile pages often
+	// state many facts at once.
+	if len(out) > 0 && out[len(out)-1] != name {
+		add(name)
+	}
+	return out
+}

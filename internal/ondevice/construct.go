@@ -1,0 +1,398 @@
+package ondevice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"saga/internal/storage"
+	"saga/internal/textutil"
+)
+
+// Builder is the incremental personal-KG construction pipeline of §5:
+// source records stream in, are blocked and matched against existing
+// person clusters by strong keys (normalized phone, normalized email),
+// and fused into unified person entities. All state — processed-record
+// markers, clusters, match indexes — lives in the disk-oriented store, so
+// the pipeline "can be paused and resumed at any point without losing
+// state" and runs under a tunable memory budget.
+//
+// Matching policy (Fig 7): records merge when they share a phone number
+// or an email address; name similarity alone never merges, so two
+// distinct "Tims" remain distinct entities.
+type Builder struct {
+	store *storage.Store
+}
+
+// PersonEntity is a fused person: the consolidated representation in the
+// unified ontology that utterance understanding resolves "Tim" against.
+type PersonEntity struct {
+	ID int `json:"id"`
+	// Names are the distinct source name spellings (sorted).
+	Names []string `json:"names"`
+	// Phones are normalized phone numbers (sorted).
+	Phones []string `json:"phones"`
+	// Emails are normalized emails (sorted).
+	Emails []string `json:"emails"`
+	// RecordKeys are the member records' keys (sorted).
+	RecordKeys []string `json:"record_keys"`
+	// Notes accumulates free-text context from member records.
+	Notes []string `json:"notes"`
+}
+
+// Store key layout.
+const (
+	keyRecPrefix  = "rec/"  // rec/<recordKey> -> 1 (processed marker)
+	keyClPrefix   = "cl/"   // cl/<clusterID> -> PersonEntity JSON
+	keyIdxPhone   = "ix/p/" // ix/p/<phone> -> clusterID
+	keyIdxEmail   = "ix/e/" // ix/e/<email> -> clusterID
+	keyRedirect   = "rd/"   // rd/<old> -> new clusterID
+	keyMetaNextID = "meta/next"
+)
+
+// NewBuilder opens (or resumes) a construction pipeline whose state lives
+// in dir, with the given memtable budget in bytes (0 = default).
+func NewBuilder(dir string, memBudgetBytes int) (*Builder, error) {
+	st, err := storage.Open(dir, storage.Options{MemBudgetBytes: memBudgetBytes})
+	if err != nil {
+		return nil, fmt.Errorf("ondevice: open builder store: %w", err)
+	}
+	return &Builder{store: st}, nil
+}
+
+// Close checkpoints and closes the underlying store.
+func (b *Builder) Close() error { return b.store.Close() }
+
+// Checkpoint persists all pending state; after Checkpoint the directory
+// can be reopened by a new Builder with no loss.
+func (b *Builder) Checkpoint() error { return b.store.Checkpoint() }
+
+// SpillCount reports how many times the memory budget forced a spill.
+func (b *Builder) SpillCount() int { return b.store.SpillCount() }
+
+// Processed reports whether a record has already been ingested, making
+// ProcessRecord idempotent and resume-after-pause trivial: replay the
+// feed and processed records are skipped.
+func (b *Builder) Processed(r Record) bool {
+	return b.store.Has(keyRecPrefix + r.Key())
+}
+
+// ProcessRecord ingests one record: block, match, fuse. Idempotent.
+func (b *Builder) ProcessRecord(r Record) error {
+	if r.LocalID == "" || r.Source == "" {
+		return errors.New("ondevice: record needs Source and LocalID")
+	}
+	recKey := keyRecPrefix + r.Key()
+	if b.store.Has(recKey) {
+		return nil
+	}
+
+	// Blocking + matching: strong keys only.
+	var matched []int
+	if p := r.NormPhone(); p != "" {
+		if cid, ok := b.lookupIndex(keyIdxPhone + p); ok {
+			matched = append(matched, cid)
+		}
+	}
+	if e := r.NormEmail(); e != "" {
+		if cid, ok := b.lookupIndex(keyIdxEmail + e); ok {
+			matched = append(matched, cid)
+		}
+	}
+	matched = dedupInts(matched)
+
+	var target int
+	var ent *PersonEntity
+	switch len(matched) {
+	case 0:
+		id, err := b.nextClusterID()
+		if err != nil {
+			return err
+		}
+		target = id
+		ent = &PersonEntity{ID: id}
+	default:
+		sort.Ints(matched)
+		target = matched[0]
+		var err error
+		ent, err = b.loadEntity(target)
+		if err != nil {
+			return err
+		}
+		// Fuse any additional matched clusters into the target.
+		for _, other := range matched[1:] {
+			otherEnt, err := b.loadEntity(other)
+			if err != nil {
+				return err
+			}
+			mergeEntity(ent, otherEnt)
+			if err := b.store.Delete(keyClPrefix + fmt.Sprint(other)); err != nil {
+				return err
+			}
+			if err := b.store.Put(keyRedirect+fmt.Sprint(other), []byte(fmt.Sprint(target))); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Fuse the record into the entity.
+	addUnique(&ent.Names, strings.TrimSpace(r.Name))
+	addUnique(&ent.Phones, r.NormPhone())
+	addUnique(&ent.Emails, r.NormEmail())
+	addUnique(&ent.RecordKeys, r.Key())
+	if r.Note != "" {
+		ent.Notes = append(ent.Notes, r.Note)
+		sort.Strings(ent.Notes)
+	}
+
+	if err := b.saveEntity(ent); err != nil {
+		return err
+	}
+	// Update strong-key indexes to the (possibly merged) target.
+	if p := r.NormPhone(); p != "" {
+		if err := b.store.Put(keyIdxPhone+p, []byte(fmt.Sprint(target))); err != nil {
+			return err
+		}
+	}
+	if e := r.NormEmail(); e != "" {
+		if err := b.store.Put(keyIdxEmail+e, []byte(fmt.Sprint(target))); err != nil {
+			return err
+		}
+	}
+	return b.store.Put(recKey, []byte{1})
+}
+
+// ProcessBatch ingests up to max unprocessed records from the feed,
+// returning how many it processed. max <= 0 means no limit. This is the
+// pausability primitive: a caller can process a few records, yield to a
+// higher-priority task (§5), checkpoint, and resume later with the same
+// feed.
+func (b *Builder) ProcessBatch(feed []Record, max int) (int, error) {
+	processed := 0
+	for _, r := range feed {
+		if max > 0 && processed >= max {
+			break
+		}
+		if b.Processed(r) {
+			continue
+		}
+		if err := b.ProcessRecord(r); err != nil {
+			return processed, err
+		}
+		processed++
+	}
+	return processed, nil
+}
+
+// Entities returns all fused person entities, sorted by cluster ID.
+func (b *Builder) Entities() ([]PersonEntity, error) {
+	var out []PersonEntity
+	var scanErr error
+	err := b.store.Scan(keyClPrefix, func(key string, value []byte) bool {
+		var e PersonEntity
+		if err := json.Unmarshal(value, &e); err != nil {
+			scanErr = fmt.Errorf("ondevice: decode entity %s: %w", key, err)
+			return false
+		}
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// CanonicalClusters returns an order-independent serialization of the
+// clustering restricted to records accepted by keep (nil = all): one
+// string per cluster, each the sorted "|"-join of record keys, the whole
+// list sorted. Two devices converged iff their canonical clusters are
+// equal.
+func (b *Builder) CanonicalClusters(keep func(recordKey string) bool) ([]string, error) {
+	ents, err := b.Entities()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		var keys []string
+		for _, rk := range e.RecordKeys {
+			if keep == nil || keep(rk) {
+				keys = append(keys, rk)
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+		out = append(out, strings.Join(keys, "|"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RankContactsByContext scores person entities against a query context by
+// token overlap with their accumulated notes — the §5 on-device
+// contextual-relevance example ("message Tim that I've added comments to
+// the SIGMOD draft" should pick the coworker Tim). Entities whose names
+// do not contain the mention are filtered out. Results sort by descending
+// score, ties by ID.
+func RankContactsByContext(ents []PersonEntity, mention, queryContext string) []PersonEntity {
+	mentionNorm := textutil.NormalizePhrase(mention)
+	qTokens := tokenSet(queryContext)
+	type scored struct {
+		e PersonEntity
+		s float64
+	}
+	var cands []scored
+	for _, e := range ents {
+		nameHit := false
+		for _, n := range e.Names {
+			if strings.Contains(textutil.NormalizePhrase(n), mentionNorm) {
+				nameHit = true
+				break
+			}
+		}
+		if !nameHit {
+			continue
+		}
+		var overlap float64
+		for _, note := range e.Notes {
+			for tok := range tokenSet(note) {
+				if qTokens[tok] {
+					overlap++
+				}
+			}
+		}
+		cands = append(cands, scored{e, overlap})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].e.ID < cands[j].e.ID
+	})
+	out := make([]PersonEntity, len(cands))
+	for i, c := range cands {
+		out[i] = c.e
+	}
+	return out
+}
+
+func tokenSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range textutil.Tokenize(s) {
+		out[t.Text] = true
+	}
+	return out
+}
+
+// --- internal helpers ----------------------------------------------------
+
+func (b *Builder) lookupIndex(key string) (int, bool) {
+	data, err := b.store.Get(key)
+	if err != nil {
+		return 0, false
+	}
+	var cid int
+	if _, err := fmt.Sscan(string(data), &cid); err != nil {
+		return 0, false
+	}
+	return b.resolve(cid), true
+}
+
+// resolve follows merge redirects to the live cluster ID.
+func (b *Builder) resolve(cid int) int {
+	for depth := 0; depth < 64; depth++ {
+		data, err := b.store.Get(keyRedirect + fmt.Sprint(cid))
+		if err != nil {
+			return cid
+		}
+		var next int
+		if _, err := fmt.Sscan(string(data), &next); err != nil {
+			return cid
+		}
+		cid = next
+	}
+	return cid
+}
+
+func (b *Builder) nextClusterID() (int, error) {
+	id := 1
+	if data, err := b.store.Get(keyMetaNextID); err == nil {
+		fmt.Sscan(string(data), &id)
+	}
+	if err := b.store.Put(keyMetaNextID, []byte(fmt.Sprint(id+1))); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (b *Builder) loadEntity(cid int) (*PersonEntity, error) {
+	data, err := b.store.Get(keyClPrefix + fmt.Sprint(cid))
+	if err != nil {
+		return nil, fmt.Errorf("ondevice: load cluster %d: %w", cid, err)
+	}
+	var e PersonEntity
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("ondevice: decode cluster %d: %w", cid, err)
+	}
+	return &e, nil
+}
+
+func (b *Builder) saveEntity(e *PersonEntity) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return b.store.Put(keyClPrefix+fmt.Sprint(e.ID), data)
+}
+
+func mergeEntity(dst, src *PersonEntity) {
+	for _, n := range src.Names {
+		addUnique(&dst.Names, n)
+	}
+	for _, p := range src.Phones {
+		addUnique(&dst.Phones, p)
+	}
+	for _, e := range src.Emails {
+		addUnique(&dst.Emails, e)
+	}
+	for _, rk := range src.RecordKeys {
+		addUnique(&dst.RecordKeys, rk)
+	}
+	dst.Notes = append(dst.Notes, src.Notes...)
+	sort.Strings(dst.Notes)
+}
+
+// addUnique inserts s into the sorted slice if non-empty and absent.
+func addUnique(slice *[]string, s string) {
+	if s == "" {
+		return
+	}
+	i := sort.SearchStrings(*slice, s)
+	if i < len(*slice) && (*slice)[i] == s {
+		return
+	}
+	*slice = append(*slice, "")
+	copy((*slice)[i+1:], (*slice)[i:])
+	(*slice)[i] = s
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

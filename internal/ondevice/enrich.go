@@ -1,0 +1,230 @@
+package ondevice
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"saga/internal/graphengine"
+	"saga/internal/kg"
+)
+
+// Global knowledge enrichment (§5): the personal graph is enriched with
+// global knowledge through three paths with different privacy/cost
+// trade-offs:
+//
+//  1. Static knowledge asset — a popularity-ranked subgraph shipped to
+//     every device; zero request leakage, bounded size, maintained as a
+//     graph-engine view.
+//  2. Dynamic piggyback — global facts ride along on responses to server
+//     interactions the user already makes; no extra leakage.
+//  3. Private retrieval — PIR-style lookups whose simulated cost is a
+//     full scan of the server corpus, plus differentially-private noisy
+//     counting for aggregate queries; provable privacy at high cost,
+//     reserved for high-value lookups.
+
+// AssetEntry is one entity's payload inside the static knowledge asset.
+type AssetEntry struct {
+	Key        string
+	Name       string
+	Popularity float64
+	// Facts are rendered (predicate, object) strings about the entity.
+	Facts []string
+}
+
+// StaticAsset is the on-device popular-entity artifact.
+type StaticAsset struct {
+	Entries map[string]AssetEntry // by entity key
+	// SourceSeq is the graph mutation sequence the asset was built at;
+	// used by Refresh to apply only new changes.
+	SourceSeq uint64
+	size      int
+	view      *graphengine.View
+	graph     *kg.Graph
+	topK      int
+}
+
+// BuildStaticAsset materializes the top-k most popular global entities
+// (with their facts) into a shippable asset. The view is maintained
+// incrementally: call Refresh after the global graph changes.
+func BuildStaticAsset(g *kg.Graph, topK int) (*StaticAsset, error) {
+	if topK <= 0 {
+		return nil, errors.New("ondevice: topK must be positive")
+	}
+	eng := graphengine.New(g)
+	view := eng.Materialize(graphengine.ViewDef{Name: "static-asset"})
+	a := &StaticAsset{graph: g, view: view, topK: topK}
+	a.rebuild()
+	return a, nil
+}
+
+func (a *StaticAsset) rebuild() {
+	type pe struct {
+		e *kg.Entity
+	}
+	var all []*kg.Entity
+	a.graph.Entities(func(e *kg.Entity) bool {
+		all = append(all, e)
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Popularity != all[j].Popularity {
+			return all[i].Popularity > all[j].Popularity
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > a.topK {
+		all = all[:a.topK]
+	}
+	entries := make(map[string]AssetEntry, len(all))
+	for _, e := range all {
+		entry := AssetEntry{Key: e.Key, Name: e.Name, Popularity: e.Popularity}
+		for _, tr := range a.graph.Outgoing(e.ID) {
+			p := a.graph.Predicate(tr.Predicate)
+			if p == nil {
+				continue
+			}
+			entry.Facts = append(entry.Facts, p.Name+"="+tr.Object.String())
+		}
+		sort.Strings(entry.Facts)
+		entries[e.Key] = entry
+	}
+	a.Entries = entries
+	a.SourceSeq = a.graph.LastSeq()
+	a.size = len(entries)
+}
+
+// Refresh incrementally applies graph changes since the asset was built
+// ("as the set of popular entities changes over time, the view is
+// automatically maintained and can be shipped to devices"). Returns the
+// number of view mutations applied.
+func (a *StaticAsset) Refresh() int {
+	applied := a.view.Refresh()
+	if applied > 0 || a.graph.LastSeq() != a.SourceSeq {
+		a.rebuild()
+	}
+	return applied
+}
+
+// Lookup serves a device query from the asset; no network request, no
+// privacy leakage.
+func (a *StaticAsset) Lookup(entityKey string) (AssetEntry, bool) {
+	e, ok := a.Entries[entityKey]
+	return e, ok
+}
+
+// Size returns the number of entities in the asset.
+func (a *StaticAsset) Size() int { return a.size }
+
+// --- Dynamic piggyback ---------------------------------------------------
+
+// PiggybackCache accumulates global facts that rode along on the user's
+// own server interactions.
+type PiggybackCache struct {
+	facts map[string][]string
+}
+
+// NewPiggybackCache returns an empty cache.
+func NewPiggybackCache() *PiggybackCache {
+	return &PiggybackCache{facts: make(map[string][]string)}
+}
+
+// ServerInteraction simulates the user asking the server about an entity
+// (e.g. "what is the score in the Blue Jays game?"). The response
+// piggybacks the entity's global facts, which the device caches. The
+// request would have been made anyway, so no additional information
+// about the user leaks.
+func (c *PiggybackCache) ServerInteraction(g *kg.Graph, entityKey string) ([]string, bool) {
+	e, ok := g.EntityByKey(entityKey)
+	if !ok {
+		return nil, false
+	}
+	var facts []string
+	for _, tr := range g.Outgoing(e.ID) {
+		p := g.Predicate(tr.Predicate)
+		if p == nil {
+			continue
+		}
+		facts = append(facts, p.Name+"="+tr.Object.String())
+	}
+	sort.Strings(facts)
+	c.facts[entityKey] = facts
+	return facts, true
+}
+
+// Lookup serves a cached entity.
+func (c *PiggybackCache) Lookup(entityKey string) ([]string, bool) {
+	f, ok := c.facts[entityKey]
+	return f, ok
+}
+
+// Size returns the number of cached entities.
+func (c *PiggybackCache) Size() int { return len(c.facts) }
+
+// --- Private retrieval ---------------------------------------------------
+
+// PIRServer simulates private information retrieval over a keyed corpus:
+// answering one query costs a scan of the whole database (the defining
+// cost of information-theoretic PIR — the server must touch every row or
+// it learns which row was asked for). CostUnits accumulates rows scanned.
+type PIRServer struct {
+	rows      map[string][]string
+	CostUnits int
+}
+
+// NewPIRServer indexes the global graph for PIR lookups.
+func NewPIRServer(g *kg.Graph) *PIRServer {
+	s := &PIRServer{rows: make(map[string][]string)}
+	g.Entities(func(e *kg.Entity) bool {
+		var facts []string
+		for _, tr := range g.Outgoing(e.ID) {
+			p := g.Predicate(tr.Predicate)
+			if p != nil {
+				facts = append(facts, p.Name+"="+tr.Object.String())
+			}
+		}
+		sort.Strings(facts)
+		s.rows[e.Key] = facts
+		return true
+	})
+	return s
+}
+
+// Fetch privately retrieves one entity's facts. The simulated cost is
+// |corpus| rows regardless of the key, which is what makes the paper
+// reserve this path for "high-value use cases".
+func (s *PIRServer) Fetch(entityKey string) ([]string, bool) {
+	s.CostUnits += len(s.rows) // every row is touched
+	f, ok := s.rows[entityKey]
+	return f, ok
+}
+
+// NumRows returns the corpus size.
+func (s *PIRServer) NumRows() int { return len(s.rows) }
+
+// --- Differential privacy -------------------------------------------------
+
+// DPNoisyCount returns count + Laplace(sensitivity/epsilon) noise: the
+// standard ε-differentially-private release of a counting query, used for
+// aggregate "knowledge queries" (§5's reference [7]).
+func DPNoisyCount(count float64, sensitivity, epsilon float64, rng *rand.Rand) (float64, error) {
+	if epsilon <= 0 {
+		return 0, errors.New("ondevice: epsilon must be positive")
+	}
+	if sensitivity <= 0 {
+		sensitivity = 1
+	}
+	scale := sensitivity / epsilon
+	// Inverse-CDF Laplace sampling.
+	u := rng.Float64() - 0.5
+	noise := -scale * sign(u) * math.Log(1-2*math.Abs(u))
+	return count + noise, nil
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

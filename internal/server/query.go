@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"saga/internal/kg"
+	"saga/saga"
+)
+
+// Conjunctive query endpoint: POST /query with a JSON body like
+//
+//	{"clauses": [
+//	  {"subject": {"var": "p"}, "predicate": "memberOf", "object": {"key": "team0"}},
+//	  {"subject": {"var": "p"}, "predicate": "award",    "object": {"key": "award0"}}
+//	]}
+//
+// Each term is exactly one of: {"var": name}, {"key": entityKey},
+// {"string": s}, {"int": n}. The response lists one binding object per
+// answer, with entity values rendered as {key, name}.
+
+type queryTermJSON struct {
+	Var    *string `json:"var,omitempty"`
+	Key    *string `json:"key,omitempty"`
+	String *string `json:"string,omitempty"`
+	Int    *int64  `json:"int,omitempty"`
+}
+
+type queryClauseJSON struct {
+	Subject   queryTermJSON `json:"subject"`
+	Predicate string        `json:"predicate"`
+	Object    queryTermJSON `json:"object"`
+}
+
+type queryRequest struct {
+	Clauses []queryClauseJSON `json:"clauses"`
+}
+
+func (s *Server) parseTerm(t queryTermJSON) (saga.QueryTerm, error) {
+	set := 0
+	if t.Var != nil {
+		set++
+	}
+	if t.Key != nil {
+		set++
+	}
+	if t.String != nil {
+		set++
+	}
+	if t.Int != nil {
+		set++
+	}
+	if set != 1 {
+		return saga.QueryTerm{}, errors.New("term must set exactly one of var/key/string/int")
+	}
+	switch {
+	case t.Var != nil:
+		if *t.Var == "" {
+			return saga.QueryTerm{}, errors.New("empty variable name")
+		}
+		return saga.QVar(*t.Var), nil
+	case t.Key != nil:
+		e, ok := s.Platform.Graph().EntityByKey(*t.Key)
+		if !ok {
+			return saga.QueryTerm{}, fmt.Errorf("unknown entity key %q", *t.Key)
+		}
+		return saga.QEntity(e.ID), nil
+	case t.String != nil:
+		return saga.QConst(kg.StringValue(*t.String)), nil
+	default:
+		return saga.QConst(kg.IntValue(*t.Int)), nil
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Clauses) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no clauses"))
+		return
+	}
+	g := s.Platform.Graph()
+	clauses := make([]saga.QueryClause, 0, len(req.Clauses))
+	for i, cj := range req.Clauses {
+		pred, ok := g.PredicateByName(cj.Predicate)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("clause %d: unknown predicate %q", i, cj.Predicate))
+			return
+		}
+		subj, err := s.parseTerm(cj.Subject)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("clause %d subject: %w", i, err))
+			return
+		}
+		obj, err := s.parseTerm(cj.Object)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("clause %d object: %w", i, err))
+			return
+		}
+		clauses = append(clauses, saga.QueryClause{Subject: subj, Predicate: pred.ID, Object: obj})
+	}
+	bindings, err := s.Platform.QueryConjunctive(clauses)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(bindings))
+	for _, b := range bindings {
+		rowJSON := make(map[string]any, len(b))
+		for name, v := range b {
+			if v.IsEntity() {
+				e := g.Entity(v.Entity)
+				if e != nil {
+					rowJSON[name] = map[string]string{"key": e.Key, "name": e.Name}
+					continue
+				}
+			}
+			rowJSON[name] = v.String()
+		}
+		out = append(out, rowJSON)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"bindings": out, "count": len(out)})
+}

@@ -1,0 +1,308 @@
+// Package server exposes the knowledge platform over HTTP: entity lookup,
+// semantic annotation, fact ranking, fact verification, related entities,
+// and web search. It is the serving layer of Fig 1, used by cmd/kgserve.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"saga/internal/kg"
+	"saga/internal/websearch"
+	"saga/saga"
+)
+
+// Server holds the serving dependencies. Search is optional (nil disables
+// /search).
+type Server struct {
+	Platform *saga.Platform
+	Search   *websearch.Index
+}
+
+// New builds a Server over an initialized platform.
+func New(p *saga.Platform, search *websearch.Index) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("server: nil platform")
+	}
+	return &Server{Platform: p, Search: search}, nil
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /entity", s.handleEntity)
+	mux.HandleFunc("POST /annotate", s.handleAnnotate)
+	mux.HandleFunc("GET /rank", s.handleRank)
+	mux.HandleFunc("GET /verify", s.handleVerify)
+	mux.HandleFunc("GET /related", s.handleRelated)
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; nothing useful to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	g := s.Platform.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"entities":   g.NumEntities(),
+		"predicates": g.NumPredicates(),
+		"triples":    g.NumTriples(),
+	})
+}
+
+// entityResponse is the public JSON shape of an entity.
+type entityResponse struct {
+	ID          uint32   `json:"id"`
+	Key         string   `json:"key"`
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description,omitempty"`
+	Popularity  float64  `json:"popularity"`
+	Types       []string `json:"types,omitempty"`
+	Facts       []string `json:"facts,omitempty"`
+}
+
+func (s *Server) entityJSON(e *kg.Entity) entityResponse {
+	g := s.Platform.Graph()
+	resp := entityResponse{
+		ID: uint32(e.ID), Key: e.Key, Name: e.Name,
+		Aliases: e.Aliases, Description: e.Description, Popularity: e.Popularity,
+	}
+	for _, t := range e.Types {
+		resp.Types = append(resp.Types, g.Ontology().Name(t))
+	}
+	for _, tr := range g.Outgoing(e.ID) {
+		p := g.Predicate(tr.Predicate)
+		if p == nil {
+			continue
+		}
+		obj := tr.Object.String()
+		if tr.Object.IsEntity() {
+			if oe := g.Entity(tr.Object.Entity); oe != nil {
+				obj = oe.Name
+			}
+		}
+		resp.Facts = append(resp.Facts, p.Name+" = "+obj)
+	}
+	return resp
+}
+
+// handleEntity serves GET /entity?key=... or ?id=...
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	g := s.Platform.Graph()
+	var e *kg.Entity
+	if key := r.URL.Query().Get("key"); key != "" {
+		ent, ok := g.EntityByKey(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("entity key %q not found", key))
+			return
+		}
+		e = ent
+	} else if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad id %q", idStr))
+			return
+		}
+		e = g.Entity(kg.EntityID(id))
+		if e == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("entity id %s not found", idStr))
+			return
+		}
+	} else {
+		writeError(w, http.StatusBadRequest, errors.New("need key or id parameter"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.entityJSON(e))
+}
+
+// annotateRequest is the POST /annotate body.
+type annotateRequest struct {
+	Text string `json:"text"`
+}
+
+type annotationJSON struct {
+	Start   int     `json:"start"`
+	End     int     `json:"end"`
+	Surface string  `json:"surface"`
+	Entity  uint32  `json:"entity"`
+	Key     string  `json:"key"`
+	Name    string  `json:"name"`
+	Score   float64 `json:"score"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req annotateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, errors.New("empty text"))
+		return
+	}
+	anns, err := s.Platform.Annotate(req.Text)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	g := s.Platform.Graph()
+	out := make([]annotationJSON, 0, len(anns))
+	for _, a := range anns {
+		aj := annotationJSON{Start: a.Start, End: a.End, Surface: a.Surface, Entity: uint32(a.Entity), Score: a.Score}
+		if e := g.Entity(a.Entity); e != nil {
+			aj.Key = e.Key
+			aj.Name = e.Name
+		}
+		out = append(out, aj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"annotations": out})
+}
+
+// handleRank serves GET /rank?subject=<key>&predicate=<name>.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	g := s.Platform.Graph()
+	subj, ok := g.EntityByKey(r.URL.Query().Get("subject"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown subject"))
+		return
+	}
+	pred, ok := g.PredicateByName(r.URL.Query().Get("predicate"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown predicate"))
+		return
+	}
+	ranked, err := s.Platform.RankFacts(subj.ID, pred.ID)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	type row struct {
+		Object string  `json:"object"`
+		Score  float64 `json:"score"`
+	}
+	out := make([]row, 0, len(ranked))
+	for _, rf := range ranked {
+		obj := rf.Triple.Object.String()
+		if rf.Triple.Object.IsEntity() {
+			if oe := g.Entity(rf.Triple.Object.Entity); oe != nil {
+				obj = oe.Name
+			}
+		}
+		out = append(out, row{Object: obj, Score: rf.Score})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ranked": out})
+}
+
+// handleVerify serves GET /verify?subject=<key>&predicate=<name>&object=<key>.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	g := s.Platform.Graph()
+	subj, ok := g.EntityByKey(r.URL.Query().Get("subject"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown subject"))
+		return
+	}
+	pred, ok := g.PredicateByName(r.URL.Query().Get("predicate"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown predicate"))
+		return
+	}
+	obj, ok := g.EntityByKey(r.URL.Query().Get("object"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown object"))
+		return
+	}
+	v, err := s.Platform.VerifyFact(subj.ID, pred.ID, obj.ID)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleRelated serves GET /related?key=<key>&k=<n>.
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	g := s.Platform.Graph()
+	e, ok := g.EntityByKey(r.URL.Query().Get("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown entity"))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n <= 0 || n > 1000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+		k = n
+	}
+	rel, err := s.Platform.RelatedEntities(e.ID, k)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	type row struct {
+		Key   string  `json:"key"`
+		Name  string  `json:"name"`
+		Score float64 `json:"score"`
+	}
+	out := make([]row, 0, len(rel))
+	for _, se := range rel {
+		rr := row{Score: se.Score}
+		if re := g.Entity(se.ID); re != nil {
+			rr.Key = re.Key
+			rr.Name = re.Name
+		}
+		out = append(out, rr)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"related": out})
+}
+
+// handleSearch serves GET /search?q=...&k=10 over the web corpus.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.Search == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("search index not configured"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if n, err := strconv.Atoi(ks); err == nil && n > 0 && n <= 100 {
+			k = n
+		}
+	}
+	hits := s.Search.Search(q, k)
+	type row struct {
+		ID    string  `json:"id"`
+		URL   string  `json:"url"`
+		Title string  `json:"title"`
+		Score float64 `json:"score"`
+	}
+	out := make([]row, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, row{ID: h.Doc.ID, URL: h.Doc.URL, Title: h.Doc.Title, Score: h.Score})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hits": out})
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"saga/saga"
+)
+
+func testServer(t *testing.T) (*Server, *saga.World) {
+	t.Helper()
+	w, err := saga.GenerateWorld(saga.WorldConfig{NumPeople: 40, NumClusters: 4, OccupationsPerPerson: 2, Seed: 211})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := saga.New(w.Graph)
+	if err := p.TrainEmbeddings(saga.EmbeddingOptions{
+		Train: saga.TrainConfig{Model: saga.DistMult, Dim: 16, Epochs: 15, Workers: 2, Seed: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BuildAnnotator(saga.AnnotateConfig{Mode: saga.ModeContextual, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate verifier roughly.
+	occ := w.Preds["occupation"]
+	var pos, neg [][3]uint32
+	for _, person := range w.People[:15] {
+		for _, f := range w.Graph.Facts(person, occ) {
+			pos = append(pos, [3]uint32{uint32(person), uint32(occ), uint32(f.Object.Entity)})
+		}
+		neg = append(neg, [3]uint32{uint32(person), uint32(occ), uint32(w.People[(int(person)+3)%len(w.People)])})
+	}
+	if err := p.CalibrateVerifier(pos, neg); err != nil {
+		t.Fatal(err)
+	}
+	docs := saga.GenerateCorpus(w, saga.CorpusConfig{NumDocs: 80, Seed: 211})
+	srv, err := New(p, saga.NewSearchIndex(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, w
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec, decoded
+}
+
+func TestNewRequiresPlatform(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, body := do(t, srv.Handler(), "GET", "/health", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["status"] != "ok" || body["triples"].(float64) == 0 {
+		t.Fatalf("health = %v", body)
+	}
+}
+
+func TestEntityEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	key := w.Graph.Entity(w.People[0]).Key
+	rec, body := do(t, h, "GET", "/entity?key="+key, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, body)
+	}
+	if body["key"] != key || body["name"] == "" {
+		t.Fatalf("entity = %v", body)
+	}
+	if facts, ok := body["facts"].([]any); !ok || len(facts) == 0 {
+		t.Fatalf("entity facts = %v", body["facts"])
+	}
+	// By numeric ID.
+	rec, _ = do(t, h, "GET", "/entity?id=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("by-id status = %d", rec.Code)
+	}
+	// Errors.
+	for _, path := range []string{"/entity", "/entity?key=nope", "/entity?id=abc", "/entity?id=999999"} {
+		rec, _ := do(t, h, "GET", path, "")
+		if rec.Code == http.StatusOK {
+			t.Fatalf("%s unexpectedly OK", path)
+		}
+	}
+}
+
+func TestAnnotateEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	name := w.Graph.Entity(w.People[0]).Name
+	rec, body := do(t, h, "POST", "/annotate", `{"text":"`+name+` played well last night."}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, body)
+	}
+	anns := body["annotations"].([]any)
+	if len(anns) == 0 {
+		t.Fatal("no annotations")
+	}
+	first := anns[0].(map[string]any)
+	if first["surface"] == "" || first["key"] == "" {
+		t.Fatalf("annotation shape = %v", first)
+	}
+	// Bad requests.
+	rec, _ = do(t, h, "POST", "/annotate", `{"text":""}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty text status = %d", rec.Code)
+	}
+	rec, _ = do(t, h, "POST", "/annotate", `{bad json`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json status = %d", rec.Code)
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	key := w.Graph.Entity(w.People[0]).Key
+	rec, body := do(t, h, "GET", "/rank?subject="+key+"&predicate=occupation", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, body)
+	}
+	rows := body["ranked"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("ranked rows = %v", rows)
+	}
+	r0 := rows[0].(map[string]any)
+	r1 := rows[1].(map[string]any)
+	if r0["score"].(float64) < r1["score"].(float64) {
+		t.Fatal("rank order wrong")
+	}
+	rec, _ = do(t, h, "GET", "/rank?subject=nope&predicate=occupation", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown subject status = %d", rec.Code)
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	g := w.Graph
+	subjKey := g.Entity(w.People[0]).Key
+	goldKey := g.Entity(w.OccupationGold[w.People[0]][0]).Key
+	rec, body := do(t, h, "GET", "/verify?subject="+subjKey+"&predicate=occupation&object="+goldKey, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, body)
+	}
+	if body["Plausible"] != true {
+		t.Fatalf("gold fact verification = %v", body)
+	}
+}
+
+func TestRelatedEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	key := w.Graph.Entity(w.People[0]).Key
+	rec, body := do(t, h, "GET", "/related?key="+key+"&k=5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, body)
+	}
+	rows := body["related"].([]any)
+	if len(rows) != 5 {
+		t.Fatalf("related rows = %d", len(rows))
+	}
+	rec, _ = do(t, h, "GET", "/related?key="+key+"&k=0", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("k=0 status = %d", rec.Code)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	name := w.Graph.Entity(w.People[0]).Name
+	rec, body := do(t, h, "GET", "/search?q="+strings.ReplaceAll(name, " ", "+"), "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, body)
+	}
+	if _, ok := body["hits"].([]any); !ok {
+		t.Fatalf("hits shape = %v", body)
+	}
+	rec, _ = do(t, h, "GET", "/search?q=", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty query status = %d", rec.Code)
+	}
+	// No index configured.
+	srv2 := &Server{Platform: srv.Platform}
+	rec2, _ := do(t, srv2.Handler(), "GET", "/search?q=x", "")
+	if rec2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("missing index status = %d", rec2.Code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	h := srv.Handler()
+	g := w.Graph
+	teamKey := g.Entity(w.Teams[0]).Key
+	body := `{"clauses":[{"subject":{"var":"p"},"predicate":"memberOf","object":{"key":"` + teamKey + `"}}]}`
+	rec, resp := do(t, h, "POST", "/query", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, resp)
+	}
+	count := int(resp["count"].(float64))
+	if count != len(w.ClusterMembers[0]) {
+		t.Fatalf("bindings = %d, want %d team members", count, len(w.ClusterMembers[0]))
+	}
+	bindings := resp["bindings"].([]any)
+	first := bindings[0].(map[string]any)
+	p, ok := first["p"].(map[string]any)
+	if !ok || p["key"] == "" || p["name"] == "" {
+		t.Fatalf("entity binding shape = %v", first)
+	}
+
+	// Join: team members who also hold the cluster award.
+	awardKey := g.Entity(w.Awards[0]).Key
+	joinBody := `{"clauses":[
+		{"subject":{"var":"p"},"predicate":"memberOf","object":{"key":"` + teamKey + `"}},
+		{"subject":{"var":"p"},"predicate":"award","object":{"key":"` + awardKey + `"}}]}`
+	rec, resp = do(t, h, "POST", "/query", joinBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("join status = %d", rec.Code)
+	}
+	if int(resp["count"].(float64)) > count {
+		t.Fatal("join produced more results than single clause")
+	}
+
+	// Errors.
+	for _, bad := range []string{
+		`{"clauses":[]}`,
+		`{"clauses":[{"subject":{"var":"p"},"predicate":"nope","object":{"key":"` + teamKey + `"}}]}`,
+		`{"clauses":[{"subject":{},"predicate":"memberOf","object":{"key":"` + teamKey + `"}}]}`,
+		`{"clauses":[{"subject":{"var":"p","key":"x"},"predicate":"memberOf","object":{"key":"` + teamKey + `"}}]}`,
+		`{"clauses":[{"subject":{"var":"p"},"predicate":"memberOf","object":{"key":"no-such-key"}}]}`,
+		`{bad`,
+	} {
+		rec, _ := do(t, h, "POST", "/query", bad)
+		if rec.Code == http.StatusOK {
+			t.Fatalf("bad query %q unexpectedly OK", bad)
+		}
+	}
+}

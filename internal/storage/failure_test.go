@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Failure injection: corrupted or missing on-disk state must surface as
+// errors (or clean degradation), never as silent data loss or panics.
+
+func TestOpenWithCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestOpenWithMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the segment the manifest references.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("missing segment accepted")
+	}
+}
+
+func TestOpenWithTruncatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(strings.Repeat("k", i+1), []byte("some value payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the segment mid-record.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			path := filepath.Join(dir, e.Name())
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-7); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("truncated segment accepted")
+	}
+}
+
+func TestUnflushedWritesLostButSegmentsSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MemBudgetBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("durable", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("volatile", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no Flush, no Close — just reopen the directory.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("durable"); err != nil {
+		t.Fatalf("flushed key lost after crash: %v", err)
+	}
+	if _, err := s2.Get("volatile"); err == nil {
+		t.Fatal("unflushed key survived crash — impossible without a WAL; memtable semantics broken")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{MemBudgetBytes: 1 << 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := []byte(strings.Repeat("v", 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(strings.Repeat("k", i%24+1), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetFromSegments(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{MemBudgetBytes: 1 << 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = strings.Repeat("x", i%16+1) + string(rune('a'+i%26))
+		if err := s.Put(keys[i], []byte("payload-payload")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package textutil provides the text-processing substrate for the semantic
+// annotation service: tokenization, string-similarity metrics, and an
+// Aho-Corasick multi-pattern matcher used for dictionary-based mention
+// detection over large corpora.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single token with its byte offsets in the original text.
+type Token struct {
+	Text  string
+	Start int // byte offset of first byte
+	End   int // byte offset one past last byte
+}
+
+// Tokenize splits text into lowercase, diacritic-folded word tokens,
+// recording byte offsets. A token is a maximal run of letters, digits,
+// apostrophes, or hyphens. Offsets refer to the original text so
+// annotations can be mapped back onto documents. Folding (café → cafe,
+// Beyoncé → beyonce) makes alias matching accent-insensitive, the
+// lightweight multilingual requirement of §3.2.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	start := -1
+	emit := func(s, e int) {
+		tokens = append(tokens, Token{Text: FoldString(strings.ToLower(text[s:e])), Start: s, End: e})
+	}
+	for i, r := range text {
+		if isWordRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			emit(start, i)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		emit(start, len(text))
+	}
+	return tokens
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-'
+}
+
+// NormalizePhrase lowercases a phrase and collapses it to single-space
+// separated word tokens, so that "Joe  ROOT " and "joe root" compare equal.
+func NormalizePhrase(s string) string {
+	toks := Tokenize(s)
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// Sentences splits text into sentence-sized spans on '.', '!', '?' and
+// newline boundaries. It returns byte-offset spans. This is intentionally a
+// lightweight splitter: annotation windows only need approximate locality.
+type Span struct {
+	Start, End int
+}
+
+// SplitSentences returns approximate sentence spans of text.
+func SplitSentences(text string) []Span {
+	var spans []Span
+	start := 0
+	for i, r := range text {
+		if r == '.' || r == '!' || r == '?' || r == '\n' {
+			if i > start {
+				spans = append(spans, Span{Start: start, End: i + 1})
+			}
+			start = i + 1
+		}
+	}
+	if start < len(text) {
+		spans = append(spans, Span{Start: start, End: len(text)})
+	}
+	return spans
+}

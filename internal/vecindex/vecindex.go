@@ -1,0 +1,412 @@
+// Package vecindex implements the vector index behind the embedding
+// service (Fig 1 "Vector Index"): exact (flat) k-nearest-neighbour search
+// and an IVF (inverted-file) approximate index built with k-means
+// clustering. The IVF nprobe parameter is the price/performance knob the
+// paper's semantic-annotation section calls out: fewer probes are cheaper
+// but recall drops (experiment E11 measures the curve).
+package vecindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Vector is a dense float32 embedding.
+type Vector []float32
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vector) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm.
+func Norm(a Vector) float32 {
+	return float32(math.Sqrt(float64(Dot(a, a))))
+}
+
+// Normalize scales a to unit length in place and returns it. Zero vectors
+// are returned unchanged.
+func Normalize(a Vector) Vector {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// Cosine returns the cosine similarity of two vectors (0 when either is a
+// zero vector).
+func Cosine(a, b Vector) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// L2Distance returns the Euclidean distance.
+func L2Distance(a, b Vector) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return float32(math.Sqrt(float64(s)))
+}
+
+// Result is one kNN hit; higher Score = more similar (inner product).
+type Result struct {
+	ID    uint64
+	Score float32
+}
+
+// Index is the interface shared by the flat and IVF implementations.
+type Index interface {
+	// Add inserts a vector under id. Duplicate IDs replace the old vector.
+	Add(id uint64, v Vector) error
+	// Search returns the k most similar vectors by inner product, highest
+	// first.
+	Search(q Vector, k int) []Result
+	// Len returns the number of stored vectors.
+	Len() int
+	// Dim returns the vector dimensionality (0 while empty).
+	Dim() int
+}
+
+// FlatIndex is an exact brute-force index. Safe for concurrent use.
+type FlatIndex struct {
+	mu   sync.RWMutex
+	dim  int
+	ids  []uint64
+	vecs []Vector
+	pos  map[uint64]int
+}
+
+// NewFlat returns an empty exact index.
+func NewFlat() *FlatIndex {
+	return &FlatIndex{pos: make(map[uint64]int)}
+}
+
+// Add implements Index.
+func (f *FlatIndex) Add(id uint64, v Vector) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dim == 0 {
+		f.dim = len(v)
+	}
+	if len(v) != f.dim {
+		return fmt.Errorf("vecindex: dim mismatch: got %d want %d", len(v), f.dim)
+	}
+	cp := append(Vector(nil), v...)
+	if i, ok := f.pos[id]; ok {
+		f.vecs[i] = cp
+		return nil
+	}
+	f.pos[id] = len(f.ids)
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, cp)
+	return nil
+}
+
+// Get returns the stored vector for id.
+func (f *FlatIndex) Get(id uint64) (Vector, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	i, ok := f.pos[id]
+	if !ok {
+		return nil, false
+	}
+	return append(Vector(nil), f.vecs[i]...), true
+}
+
+// Search implements Index.
+func (f *FlatIndex) Search(q Vector, k int) []Result {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return topK(q, f.ids, f.vecs, k, nil)
+}
+
+// SearchFiltered is Search restricted to IDs accepted by keep (nil = all).
+func (f *FlatIndex) SearchFiltered(q Vector, k int, keep func(uint64) bool) []Result {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return topK(q, f.ids, f.vecs, k, keep)
+}
+
+// Len implements Index.
+func (f *FlatIndex) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.ids)
+}
+
+// Dim implements Index.
+func (f *FlatIndex) Dim() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.dim
+}
+
+func topK(q Vector, ids []uint64, vecs []Vector, k int, keep func(uint64) bool) []Result {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Result, 0, k+1)
+	for i, id := range ids {
+		if keep != nil && !keep(id) {
+			continue
+		}
+		if len(vecs[i]) != len(q) {
+			continue
+		}
+		s := Dot(q, vecs[i])
+		if len(out) < k {
+			out = append(out, Result{ID: id, Score: s})
+			if len(out) == k {
+				sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+			}
+			continue
+		}
+		if s > out[k-1].Score {
+			out[k-1] = Result{ID: id, Score: s}
+			// Restore order with an insertion pass (k is small).
+			for j := k - 1; j > 0 && out[j].Score > out[j-1].Score; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// IVFIndex is an inverted-file approximate index: vectors are assigned to
+// the nearest of nlist centroids at build time; queries scan only the
+// nprobe nearest lists. Build it once with BuildIVF; Search is safe for
+// concurrent use afterwards.
+type IVFIndex struct {
+	dim       int
+	centroids []Vector
+	lists     [][]int // centroid -> indexes into ids/vecs
+	ids       []uint64
+	vecs      []Vector
+	nprobe    int
+}
+
+// IVFOptions configure BuildIVF.
+type IVFOptions struct {
+	// NList is the number of clusters; default sqrt(n) clamped to [1,256].
+	NList int
+	// NProbe is the default number of lists scanned per query; default 4.
+	NProbe int
+	// KMeansIters bounds Lloyd iterations; default 10.
+	KMeansIters int
+	// Seed makes clustering reproducible.
+	Seed int64
+}
+
+// BuildIVF clusters the given vectors and returns the immutable index.
+func BuildIVF(ids []uint64, vecs []Vector, opts IVFOptions) (*IVFIndex, error) {
+	if len(ids) != len(vecs) {
+		return nil, errors.New("vecindex: ids/vecs length mismatch")
+	}
+	if len(vecs) == 0 {
+		return nil, errors.New("vecindex: empty build set")
+	}
+	dim := len(vecs[0])
+	for _, v := range vecs {
+		if len(v) != dim {
+			return nil, errors.New("vecindex: inconsistent dimensions")
+		}
+	}
+	nlist := opts.NList
+	if nlist <= 0 {
+		nlist = int(math.Sqrt(float64(len(vecs))))
+	}
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nlist > 256 {
+		nlist = 256
+	}
+	if nlist > len(vecs) {
+		nlist = len(vecs)
+	}
+	iters := opts.KMeansIters
+	if iters <= 0 {
+		iters = 10
+	}
+	nprobe := opts.NProbe
+	if nprobe <= 0 {
+		nprobe = 4
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+
+	centroids := kmeans(vecs, nlist, iters, rand.New(rand.NewSource(opts.Seed)))
+	lists := make([][]int, len(centroids))
+	for i, v := range vecs {
+		c := nearestCentroid(v, centroids)
+		lists[c] = append(lists[c], i)
+	}
+	idsCp := append([]uint64(nil), ids...)
+	vecsCp := make([]Vector, len(vecs))
+	for i, v := range vecs {
+		vecsCp[i] = append(Vector(nil), v...)
+	}
+	return &IVFIndex{dim: dim, centroids: centroids, lists: lists, ids: idsCp, vecs: vecsCp, nprobe: nprobe}, nil
+}
+
+// Add is unsupported on the immutable IVF index.
+func (ix *IVFIndex) Add(id uint64, v Vector) error {
+	return errors.New("vecindex: IVF index is immutable; rebuild to add vectors")
+}
+
+// Len implements Index.
+func (ix *IVFIndex) Len() int { return len(ix.ids) }
+
+// Dim implements Index.
+func (ix *IVFIndex) Dim() int { return ix.dim }
+
+// NList returns the number of clusters.
+func (ix *IVFIndex) NList() int { return len(ix.centroids) }
+
+// Search implements Index with the index's default nprobe.
+func (ix *IVFIndex) Search(q Vector, k int) []Result {
+	return ix.SearchNProbe(q, k, ix.nprobe)
+}
+
+// SearchNProbe searches scanning the given number of nearest lists.
+func (ix *IVFIndex) SearchNProbe(q Vector, k, nprobe int) []Result {
+	if k <= 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.centroids) {
+		nprobe = len(ix.centroids)
+	}
+	// Rank centroids by distance to q.
+	type cd struct {
+		c int
+		d float32
+	}
+	order := make([]cd, len(ix.centroids))
+	for i, c := range ix.centroids {
+		order[i] = cd{i, L2Distance(q, c)}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].d < order[b].d })
+
+	var candIDs []uint64
+	var candVecs []Vector
+	for _, o := range order[:nprobe] {
+		for _, idx := range ix.lists[o.c] {
+			candIDs = append(candIDs, ix.ids[idx])
+			candVecs = append(candVecs, ix.vecs[idx])
+		}
+	}
+	return topK(q, candIDs, candVecs, k, nil)
+}
+
+// kmeans runs Lloyd's algorithm with k-means++ style seeding.
+func kmeans(vecs []Vector, k, iters int, rng *rand.Rand) []Vector {
+	dim := len(vecs[0])
+	centroids := make([]Vector, 0, k)
+	// Seed: first centroid uniformly, rest weighted by squared distance.
+	first := rng.Intn(len(vecs))
+	centroids = append(centroids, append(Vector(nil), vecs[first]...))
+	d2 := make([]float64, len(vecs))
+	for len(centroids) < k {
+		var sum float64
+		for i, v := range vecs {
+			d := L2Distance(v, centroids[nearestCentroid(v, centroids)])
+			d2[i] = float64(d) * float64(d)
+			sum += d2[i]
+		}
+		if sum == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, append(Vector(nil), vecs[rng.Intn(len(vecs))]...))
+			continue
+		}
+		r := rng.Float64() * sum
+		var acc float64
+		pick := len(vecs) - 1
+		for i := range vecs {
+			acc += d2[i]
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append(Vector(nil), vecs[pick]...))
+	}
+	assign := make([]int, len(vecs))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vecs {
+			c := nearestCentroid(v, centroids)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([]Vector, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make(Vector, dim)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for j := range v {
+				sums[c][j] += v[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep old centroid for empty cluster
+			}
+			inv := 1 / float32(counts[c])
+			for j := range sums[c] {
+				sums[c][j] *= inv
+			}
+			centroids[c] = sums[c]
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centroids
+}
+
+func nearestCentroid(v Vector, centroids []Vector) int {
+	best := 0
+	bestD := float32(math.MaxFloat32)
+	for i, c := range centroids {
+		d := L2Distance(v, c)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,220 @@
+package webcorpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"saga/internal/workload"
+)
+
+func corpusWorld(t *testing.T) *workload.World {
+	t.Helper()
+	w, err := workload.GenerateKG(workload.KGConfig{NumPeople: 60, NumClusters: 6, AmbiguousNamePairs: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateShape(t *testing.T) {
+	w := corpusWorld(t)
+	docs := Generate(w, Config{NumDocs: 200, Seed: 23})
+	if len(docs) != 200 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	ids := make(map[string]bool)
+	var noise, entity, withBox int
+	for _, d := range docs {
+		if ids[d.ID] {
+			t.Fatalf("duplicate doc ID %s", d.ID)
+		}
+		ids[d.ID] = true
+		if d.Text == "" || d.URL == "" {
+			t.Fatal("empty doc fields")
+		}
+		if d.Version != 1 {
+			t.Fatalf("initial version = %d", d.Version)
+		}
+		if d.Cluster == -1 {
+			noise++
+			if len(d.Gold) != 0 {
+				t.Fatal("noise doc has gold mentions")
+			}
+		} else {
+			entity++
+			if len(d.Gold) == 0 {
+				t.Fatal("entity doc without gold mentions")
+			}
+		}
+		if d.Infobox != nil {
+			withBox++
+			if d.InfoboxSubject == 0 {
+				t.Fatal("infobox without subject")
+			}
+		}
+	}
+	if noise == 0 || entity == 0 {
+		t.Fatalf("noise=%d entity=%d; need both", noise, entity)
+	}
+	if withBox == 0 {
+		t.Fatal("no infoboxes generated")
+	}
+}
+
+func TestGoldMentionOffsets(t *testing.T) {
+	w := corpusWorld(t)
+	docs := Generate(w, Config{NumDocs: 150, Seed: 7})
+	var checked int
+	for _, d := range docs {
+		for _, gm := range d.Gold {
+			if gm.Start < 0 || gm.End > len(d.Text) || gm.Start >= gm.End {
+				t.Fatalf("bad offsets %d:%d in doc %s", gm.Start, gm.End, d.ID)
+			}
+			if got := d.Text[gm.Start:gm.End]; got != gm.Surface {
+				t.Fatalf("offset text %q != surface %q", got, gm.Surface)
+			}
+			if w.Graph.Entity(gm.Entity) == nil {
+				t.Fatalf("gold mention references unknown entity %v", gm.Entity)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no gold mentions generated")
+	}
+}
+
+func TestAmbiguousMentionsPresent(t *testing.T) {
+	w := corpusWorld(t)
+	docs := Generate(w, Config{NumDocs: 400, Seed: 9})
+	var ambiguous int
+	for _, d := range docs {
+		for _, gm := range d.Gold {
+			if gm.Ambiguous {
+				ambiguous++
+				// The correct bearer must be in the doc's cluster.
+				if w.Cluster[gm.Entity] != d.Cluster {
+					t.Fatalf("ambiguous gold entity outside doc cluster")
+				}
+			}
+		}
+	}
+	if ambiguous == 0 {
+		t.Fatal("no ambiguous mentions in 400 docs; disambiguation experiment would be vacuous")
+	}
+}
+
+func TestInfoboxValuesMatchKG(t *testing.T) {
+	w := corpusWorld(t)
+	docs := Generate(w, Config{NumDocs: 300, WrongInfoboxFraction: 0, Seed: 11})
+	var boxes int
+	for _, d := range docs {
+		if d.Infobox == nil {
+			continue
+		}
+		boxes++
+		if dob, ok := d.Infobox["dateOfBirth"]; ok {
+			facts := w.Graph.Facts(d.InfoboxSubject, w.Preds["dateOfBirth"])
+			if len(facts) == 0 {
+				t.Fatal("infobox dob for person without dob fact")
+			}
+			if want := facts[0].Object.TS.Format("2006-01-02"); dob != want {
+				t.Fatalf("uncorrupted infobox dob %q != KG %q", dob, want)
+			}
+		}
+		if team, ok := d.Infobox["memberOf"]; ok {
+			facts := w.Graph.Facts(d.InfoboxSubject, w.Preds["memberOf"])
+			if len(facts) == 0 || w.Graph.Entity(facts[0].Object.Entity).Name != team {
+				t.Fatalf("infobox memberOf %q mismatches KG", team)
+			}
+		}
+	}
+	if boxes == 0 {
+		t.Fatal("no infoboxes")
+	}
+}
+
+func TestWrongInfoboxFraction(t *testing.T) {
+	w := corpusWorld(t)
+	docs := Generate(w, Config{NumDocs: 400, InfoboxFraction: 1, NoiseFraction: 0.0001, WrongInfoboxFraction: 1, Seed: 13})
+	var wrong, total int
+	for _, d := range docs {
+		if d.Infobox == nil {
+			continue
+		}
+		dob, ok := d.Infobox["dateOfBirth"]
+		if !ok {
+			continue
+		}
+		total++
+		facts := w.Graph.Facts(d.InfoboxSubject, w.Preds["dateOfBirth"])
+		if len(facts) > 0 && dob != facts[0].Object.TS.Format("2006-01-02") {
+			wrong++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no dob infoboxes")
+	}
+	// With WrongInfoboxFraction=1 nearly all should differ (a random date
+	// can coincide with the true one only rarely).
+	if float64(wrong)/float64(total) < 0.9 {
+		t.Fatalf("wrong fraction = %d/%d, corruption not applied", wrong, total)
+	}
+}
+
+func TestMutate(t *testing.T) {
+	w := corpusWorld(t)
+	docs := Generate(w, Config{NumDocs: 200, Seed: 15})
+	orig := make(map[string]string)
+	for _, d := range docs {
+		orig[d.ID] = d.Text
+	}
+	rng := rand.New(rand.NewSource(15))
+	changed := Mutate(docs, 0.25, rng)
+	if len(changed) == 0 {
+		t.Fatal("nothing changed at rate 0.25")
+	}
+	if len(changed) > 200/2 {
+		t.Fatalf("changed %d docs at rate 0.25; change model broken", len(changed))
+	}
+	changedSet := make(map[string]bool)
+	for _, id := range changed {
+		changedSet[id] = true
+	}
+	for _, d := range docs {
+		if changedSet[d.ID] {
+			if d.Version != 2 {
+				t.Fatalf("changed doc version = %d", d.Version)
+			}
+			if !strings.HasPrefix(d.Text, orig[d.ID]) {
+				t.Fatal("mutation must only append (gold offsets depend on it)")
+			}
+			// Gold offsets still valid.
+			for _, gm := range d.Gold {
+				if d.Text[gm.Start:gm.End] != gm.Surface {
+					t.Fatal("gold offsets broken by mutation")
+				}
+			}
+		} else {
+			if d.Version != 1 || d.Text != orig[d.ID] {
+				t.Fatal("unchanged doc was modified")
+			}
+		}
+	}
+	// Rate 0 changes nothing.
+	if got := Mutate(docs, 0, rng); len(got) != 0 {
+		t.Fatalf("rate 0 changed %d docs", len(got))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := corpusWorld(t)
+	a := Generate(w, Config{NumDocs: 50, Seed: 99})
+	b := Generate(w, Config{NumDocs: 50, Seed: 99})
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].ID != b[i].ID {
+			t.Fatalf("doc %d not deterministic", i)
+		}
+	}
+}

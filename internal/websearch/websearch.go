@@ -1,0 +1,155 @@
+// Package websearch implements a BM25 inverted-index search engine over
+// the synthetic web corpus. It substitutes for the production Web search
+// engine the ODKE pipeline calls ("leverage Web search to find relevant
+// documents", Fig 5): the query synthesizer issues queries here and gets
+// relevance-ranked documents back.
+package websearch
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"saga/internal/textutil"
+	"saga/internal/webcorpus"
+)
+
+// BM25 parameters (standard defaults).
+const (
+	k1 = 1.2
+	b  = 0.75
+)
+
+// Index is an inverted index with BM25 scoring. Build with NewIndex;
+// Search is safe for concurrent use. Documents can be re-indexed after
+// mutation with Update.
+type Index struct {
+	mu sync.RWMutex
+
+	docs map[string]*webcorpus.Document
+	// postings: term -> docID -> term frequency.
+	postings map[string]map[string]int
+	// docTerms snapshots each document's indexed term counts so Update can
+	// remove stale postings even if the caller mutated the document text
+	// in place before calling Update.
+	docTerms map[string]map[string]int
+	docLen   map[string]int
+	totalLen int
+}
+
+// NewIndex builds an index over the documents (title + text).
+func NewIndex(docs []*webcorpus.Document) *Index {
+	ix := &Index{
+		docs:     make(map[string]*webcorpus.Document),
+		postings: make(map[string]map[string]int),
+		docTerms: make(map[string]map[string]int),
+		docLen:   make(map[string]int),
+	}
+	for _, d := range docs {
+		ix.addLocked(d)
+	}
+	return ix
+}
+
+func (ix *Index) addLocked(d *webcorpus.Document) {
+	toks := textutil.Tokenize(d.Title + " " + d.Text)
+	ix.docs[d.ID] = d
+	ix.docLen[d.ID] = len(toks)
+	ix.totalLen += len(toks)
+	terms := make(map[string]int, len(toks))
+	for _, t := range toks {
+		m := ix.postings[t.Text]
+		if m == nil {
+			m = make(map[string]int)
+			ix.postings[t.Text] = m
+		}
+		m[d.ID]++
+		terms[t.Text]++
+	}
+	ix.docTerms[d.ID] = terms
+}
+
+// Update re-indexes a changed document (removing its old postings).
+func (ix *Index) Update(d *webcorpus.Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if oldTerms, ok := ix.docTerms[d.ID]; ok {
+		for term, n := range oldTerms {
+			if m := ix.postings[term]; m != nil {
+				m[d.ID] -= n
+				if m[d.ID] <= 0 {
+					delete(m, d.ID)
+				}
+				if len(m) == 0 {
+					delete(ix.postings, term)
+				}
+			}
+		}
+		ix.totalLen -= ix.docLen[d.ID]
+	}
+	ix.addLocked(d)
+}
+
+// NumDocs returns the indexed document count.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Doc returns an indexed document by ID.
+func (ix *Index) Doc(id string) (*webcorpus.Document, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	return d, ok
+}
+
+// Hit is one search result.
+type Hit struct {
+	Doc   *webcorpus.Document
+	Score float64
+}
+
+// Search runs a BM25 query and returns the top-k hits, highest score
+// first. Ties break by document ID for determinism.
+func (ix *Index) Search(query string, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if k <= 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	qToks := textutil.Tokenize(query)
+	if len(qToks) == 0 {
+		return nil
+	}
+	n := float64(len(ix.docs))
+	avgLen := float64(ix.totalLen) / n
+	scores := make(map[string]float64)
+	for _, qt := range qToks {
+		post := ix.postings[qt.Text]
+		if len(post) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-float64(len(post))+0.5)/(float64(len(post))+0.5))
+		for docID, tf := range post {
+			dl := float64(ix.docLen[docID])
+			denom := float64(tf) + k1*(1-b+b*dl/avgLen)
+			scores[docID] += idf * float64(tf) * (k1 + 1) / denom
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for docID, s := range scores {
+		hits = append(hits, Hit{Doc: ix.docs[docID], Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.ID < hits[j].Doc.ID
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}

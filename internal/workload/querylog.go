@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saga/internal/kg"
+)
+
+// QueryLogEntry is one virtual-assistant query against the KG, with the
+// outcome observed by the serving layer. ODKE's reactive gap detection
+// (§4: "analyzing query logs and finding user queries that are not
+// answered correctly due to missing or stale facts") consumes these.
+type QueryLogEntry struct {
+	// Subject and Predicate identify the asked fact slot.
+	Subject   kg.EntityID
+	Predicate kg.PredicateID
+	// Answered reports whether the KG had a fact in the slot at query
+	// time.
+	Answered bool
+	// Text is the natural-language surface form (for annotation tests).
+	Text string
+}
+
+// QueryLogConfig sizes GenerateQueryLog.
+type QueryLogConfig struct {
+	// NumQueries defaults to 500.
+	NumQueries int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// GenerateQueryLog samples queries over the world's people with Zipfian
+// popularity bias (popular entities are asked about more often), asking
+// for a random predicate slot each time, and records whether the KG
+// currently answers it.
+func GenerateQueryLog(w *World, cfg QueryLogConfig) []QueryLogEntry {
+	if cfg.NumQueries <= 0 {
+		cfg.NumQueries = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	preds := []string{"occupation", "dateOfBirth", "memberOf", "bornIn", "award", "spouse"}
+	out := make([]QueryLogEntry, 0, cfg.NumQueries)
+	for i := 0; i < cfg.NumQueries; i++ {
+		p := w.People[zipfIndex(rng, len(w.People))]
+		predName := preds[rng.Intn(len(preds))]
+		pred := w.Preds[predName]
+		facts := w.Graph.Facts(p, pred)
+		out = append(out, QueryLogEntry{
+			Subject:   p,
+			Predicate: pred,
+			Answered:  len(facts) > 0,
+			Text:      fmt.Sprintf("what is the %s of %s", predName, w.Graph.Entity(p).Name),
+		})
+	}
+	return out
+}
+
+// zipfIndex samples an index in [0,n) with probability ∝ 1/(i+1).
+func zipfIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF over harmonic weights, computed incrementally.
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	r := rng.Float64() * total
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += 1 / float64(i+1)
+		if acc >= r {
+			return i
+		}
+	}
+	return n - 1
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"saga/internal/kg"
+)
+
+func TestGenerateKGDeterministic(t *testing.T) {
+	w1, err := GenerateKG(KGConfig{NumPeople: 50, NumClusters: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := GenerateKG(KGConfig{NumPeople: 50, NumClusters: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Graph.NumTriples() != w2.Graph.NumTriples() {
+		t.Fatalf("non-deterministic triple counts: %d vs %d", w1.Graph.NumTriples(), w2.Graph.NumTriples())
+	}
+	if w1.Graph.NumEntities() != w2.Graph.NumEntities() {
+		t.Fatal("non-deterministic entity counts")
+	}
+	a := w1.Graph.AllTriples()
+	b := w2.Graph.AllTriples()
+	for i := range a {
+		if a[i].SPO() != b[i].SPO() {
+			t.Fatalf("triple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateKGShape(t *testing.T) {
+	w, err := GenerateKG(KGConfig{NumPeople: 100, NumClusters: 10, OccupationsPerPerson: 3, AmbiguousNamePairs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.People) != 100 {
+		t.Fatalf("people = %d", len(w.People))
+	}
+	if len(w.Teams) != 10 || len(w.Awards) != 10 {
+		t.Fatalf("teams/awards = %d/%d", len(w.Teams), len(w.Awards))
+	}
+	// Each person has cluster assignment and gold occupations.
+	for _, p := range w.People {
+		if _, ok := w.Cluster[p]; !ok {
+			t.Fatalf("person %v missing cluster", p)
+		}
+		gold := w.OccupationGold[p]
+		if len(gold) != 3 {
+			t.Fatalf("person %v gold occupations = %d", p, len(gold))
+		}
+		// Every gold occupation must be asserted as a fact.
+		facts := w.Graph.Facts(p, w.Preds["occupation"])
+		if len(facts) != 3 {
+			t.Fatalf("person %v occupation facts = %d", p, len(facts))
+		}
+		// Gold[0] is the cluster theme occupation.
+		theme := w.ThemeOccs[w.Cluster[p]]
+		if gold[0] != theme {
+			t.Fatalf("gold[0] = %v, want cluster theme %v", gold[0], theme)
+		}
+	}
+	// Ambiguous pairs: same name, different clusters.
+	if len(w.AmbiguousNames) == 0 {
+		t.Fatal("no ambiguous names planted")
+	}
+	for name, ids := range w.AmbiguousNames {
+		if len(ids) != 2 {
+			t.Fatalf("ambiguous %q has %d bearers", name, len(ids))
+		}
+		if w.Graph.Entity(ids[0]).Name != name || w.Graph.Entity(ids[1]).Name != name {
+			t.Fatalf("ambiguous pair names mismatch for %q", name)
+		}
+		if w.Cluster[ids[0]] == w.Cluster[ids[1]] {
+			t.Fatalf("ambiguous pair %q in same cluster", name)
+		}
+	}
+}
+
+func TestGenerateKGLiteralNoise(t *testing.T) {
+	w, err := GenerateKG(KGConfig{NumPeople: 30, NumClusters: 3, LiteralNoiseFacts: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := kg.ComputeStats(w.Graph)
+	if stats.LiteralTriples == 0 {
+		t.Fatal("no literal facts generated")
+	}
+	if stats.EntityTriples == 0 {
+		t.Fatal("no entity facts generated")
+	}
+	// DOB plus 3 noise literals per person = 4.
+	if stats.LiteralTriples != 30*4 {
+		t.Fatalf("literal triples = %d, want %d", stats.LiteralTriples, 30*4)
+	}
+}
+
+func TestGenerateKGPopularityZipf(t *testing.T) {
+	w, err := GenerateKG(KGConfig{NumPeople: 50, NumClusters: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := w.Graph.Entity(w.People[0]).Popularity
+	last := w.Graph.Entity(w.People[49]).Popularity
+	if first <= last {
+		t.Fatalf("popularity not decreasing: first=%v last=%v", first, last)
+	}
+}
+
+func TestClusterMembersPartitionPeople(t *testing.T) {
+	w, err := GenerateKG(KGConfig{NumPeople: 40, NumClusters: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	seen := make(map[kg.EntityID]bool)
+	for c, members := range w.ClusterMembers {
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("person %v in multiple clusters", m)
+			}
+			seen[m] = true
+			if w.Cluster[m] != c {
+				t.Fatalf("cluster map inconsistent for %v", m)
+			}
+			total++
+		}
+	}
+	if total != 40 {
+		t.Fatalf("cluster members total = %d", total)
+	}
+}
+
+func TestGenerateQueryLog(t *testing.T) {
+	w, err := GenerateKG(KGConfig{NumPeople: 60, NumClusters: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := GenerateQueryLog(w, QueryLogConfig{NumQueries: 300, Seed: 5})
+	if len(log) != 300 {
+		t.Fatalf("log size = %d", len(log))
+	}
+	var answered int
+	counts := make(map[kg.EntityID]int)
+	for _, q := range log {
+		if q.Text == "" {
+			t.Fatal("empty query text")
+		}
+		counts[q.Subject]++
+		if q.Answered {
+			answered++
+		}
+		// Answered flag must reflect actual graph state.
+		has := len(w.Graph.Facts(q.Subject, q.Predicate)) > 0
+		if has != q.Answered {
+			t.Fatalf("answered flag wrong for %v", q)
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no query answered; generator broken")
+	}
+	// Zipf bias: the most popular person should be asked about more often
+	// than the median person.
+	top := counts[w.People[0]]
+	mid := counts[w.People[30]]
+	if top <= mid {
+		t.Fatalf("no popularity bias: top=%d mid=%d", top, mid)
+	}
+}
+
+func TestGenerateKGDegenerateConfigs(t *testing.T) {
+	// Defaults fill in.
+	w, err := GenerateKG(KGConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.People) == 0 {
+		t.Fatal("default config generated no people")
+	}
+	// More clusters than people clamps.
+	w2, err := GenerateKG(KGConfig{NumPeople: 3, NumClusters: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.People) != 3 {
+		t.Fatalf("people = %d", len(w2.People))
+	}
+}

@@ -1,0 +1,245 @@
+package saga
+
+import (
+	"errors"
+	"fmt"
+
+	"saga/internal/annotate"
+	"saga/internal/embedding"
+	"saga/internal/embedserve"
+	"saga/internal/graphengine"
+	"saga/internal/kg"
+	"saga/internal/odke"
+	"saga/internal/websearch"
+)
+
+// Platform bundles a knowledge graph with the services built on it
+// (Fig 1): the graph engine, the embedding service, the semantic
+// annotation service, and the ODKE pipeline. Construct with New, then
+// initialize the services you need:
+//
+//	p := saga.New(graph)
+//	if err := p.TrainEmbeddings(saga.EmbeddingOptions{}); err != nil { ... }
+//	if err := p.BuildAnnotator(saga.AnnotateConfig{}); err != nil { ... }
+//	ranked, err := p.RankFacts(subject, predicate)
+type Platform struct {
+	graph  *kg.Graph
+	engine *graphengine.Engine
+
+	dataset   *embedding.Dataset
+	model     embedding.Model
+	embedSvc  *embedserve.Service
+	annotator *annotate.Annotator
+	odkePipe  *odke.Pipeline
+}
+
+// New wraps a graph in a platform. The graph may keep growing; views and
+// services observe updates per their own refresh semantics.
+func New(g *Graph) *Platform {
+	return &Platform{graph: g, engine: graphengine.New(g)}
+}
+
+// Graph returns the underlying knowledge graph.
+func (p *Platform) Graph() *Graph { return p.graph }
+
+// Engine returns the graph query engine.
+func (p *Platform) Engine() *Engine { return p.engine }
+
+// QueryConjunctive evaluates a conjunctive triple-pattern query (the §1
+// "movies directed by X" shape) and returns all satisfying bindings.
+func (p *Platform) QueryConjunctive(clauses []QueryClause) ([]QueryBinding, error) {
+	return p.engine.QueryConjunctive(clauses)
+}
+
+// EmbeddingOptions configure Platform.TrainEmbeddings.
+type EmbeddingOptions struct {
+	// View filters the training triples; zero value drops literal facts,
+	// which is the §2 default for entity embeddings.
+	View ViewDef
+	// Train configures the trainer; zero values pick sensible defaults.
+	Train TrainConfig
+	// WalkEmbeddings additionally trains traversal-based related-entity
+	// vectors and installs them in the service.
+	WalkEmbeddings bool
+	// Walk configures the walk embedder when WalkEmbeddings is set.
+	Walk WalkEmbedConfig
+}
+
+// TrainEmbeddings materializes a training view, trains the model, and
+// stands up the embedding service (Fig 3's training path).
+func (p *Platform) TrainEmbeddings(opts EmbeddingOptions) error {
+	view := opts.View
+	if view.Name == "" {
+		view.Name = "embedding-training"
+		if !view.DropLiteralFacts && !view.DropEntityFacts && view.MinPredicateFreq == 0 &&
+			view.IncludePredicates == nil && view.ExcludePredicates == nil {
+			view.DropLiteralFacts = true
+		}
+	}
+	v := p.engine.Materialize(view)
+	d := embedding.NewDataset(v.Triples())
+	if len(d.Triples) == 0 {
+		return errors.New("saga: training view produced no entity-valued triples")
+	}
+	m, err := embedding.Train(d, opts.Train)
+	if err != nil {
+		return fmt.Errorf("saga: train embeddings: %w", err)
+	}
+	svc, err := embedserve.New(p.graph, m, d)
+	if err != nil {
+		return fmt.Errorf("saga: build embedding service: %w", err)
+	}
+	if opts.WalkEmbeddings {
+		vecs := embedding.TrainWalkEmbeddings(p.engine, d.Ents, opts.Walk)
+		if err := svc.SetWalkEmbeddings(vecs); err != nil {
+			return fmt.Errorf("saga: install walk embeddings: %w", err)
+		}
+	}
+	p.dataset = d
+	p.model = m
+	p.embedSvc = svc
+	return nil
+}
+
+// EmbeddingService returns the trained embedding service, or nil before
+// TrainEmbeddings.
+func (p *Platform) EmbeddingService() *EmbeddingService { return p.embedSvc }
+
+// Model returns the trained embedding model, or nil before training.
+func (p *Platform) Model() Model { return p.model }
+
+// Dataset returns the training dataset (index space), or nil.
+func (p *Platform) Dataset() *Dataset { return p.dataset }
+
+// RankFacts ranks (subject, predicate, *) facts by embedding score.
+func (p *Platform) RankFacts(subject EntityID, predicate PredicateID) ([]RankedFact, error) {
+	if p.embedSvc == nil {
+		return nil, errors.New("saga: embeddings not trained; call TrainEmbeddings first")
+	}
+	return p.embedSvc.RankFacts(subject, predicate)
+}
+
+// CalibrateVerifier fits the fact-verification threshold from labelled
+// positive and negative triples given as (subject, predicate, object)
+// graph IDs, and installs it in the service.
+func (p *Platform) CalibrateVerifier(pos, neg [][3]uint32) error {
+	if p.embedSvc == nil {
+		return errors.New("saga: embeddings not trained")
+	}
+	conv := func(in [][3]uint32) ([][3]int32, error) {
+		out := make([][3]int32, 0, len(in))
+		for _, t := range in {
+			h, ok := p.dataset.EntityIndex(kg.EntityID(t[0]))
+			if !ok {
+				continue
+			}
+			r, ok := p.dataset.RelationIndex(kg.PredicateID(t[1]))
+			if !ok {
+				continue
+			}
+			o, ok := p.dataset.EntityIndex(kg.EntityID(t[2]))
+			if !ok {
+				continue
+			}
+			out = append(out, [3]int32{h, r, o})
+		}
+		if len(out) == 0 {
+			return nil, errors.New("saga: no calibration triples map into the embedding space")
+		}
+		return out, nil
+	}
+	posIdx, err := conv(pos)
+	if err != nil {
+		return err
+	}
+	negIdx, err := conv(neg)
+	if err != nil {
+		return err
+	}
+	thr := embedding.CalibrateThreshold(p.model, posIdx, negIdx)
+	p.embedSvc.SetVerifyThreshold(thr)
+	return nil
+}
+
+// VerifyFact classifies a candidate triple (requires CalibrateVerifier).
+func (p *Platform) VerifyFact(subject EntityID, predicate PredicateID, object EntityID) (Verification, error) {
+	if p.embedSvc == nil {
+		return Verification{}, errors.New("saga: embeddings not trained")
+	}
+	return p.embedSvc.VerifyFact(subject, predicate, object)
+}
+
+// RelatedEntities returns the k most related entities.
+func (p *Platform) RelatedEntities(id EntityID, k int) ([]embedserve.ScoredEntity, error) {
+	if p.embedSvc == nil {
+		return nil, errors.New("saga: embeddings not trained")
+	}
+	return p.embedSvc.RelatedEntities(id, k)
+}
+
+// BuildAnnotator stands up the semantic annotation service.
+func (p *Platform) BuildAnnotator(cfg AnnotateConfig) error {
+	a, err := annotate.New(p.graph, cfg)
+	if err != nil {
+		return fmt.Errorf("saga: build annotator: %w", err)
+	}
+	p.annotator = a
+	return nil
+}
+
+// Annotator returns the annotation service, or nil before BuildAnnotator.
+func (p *Platform) Annotator() *Annotator { return p.annotator }
+
+// Annotate links entity mentions in text.
+func (p *Platform) Annotate(text string) ([]Annotation, error) {
+	if p.annotator == nil {
+		return nil, errors.New("saga: annotator not built; call BuildAnnotator first")
+	}
+	return p.annotator.Annotate(text), nil
+}
+
+// NewAnnotationPipeline returns a corpus-scale incremental annotation
+// pipeline over the platform's annotator.
+func (p *Platform) NewAnnotationPipeline(workers int) (*AnnotationPipeline, error) {
+	if p.annotator == nil {
+		return nil, errors.New("saga: annotator not built")
+	}
+	return annotate.NewPipeline(p.annotator, workers), nil
+}
+
+// BuildODKE wires the extraction pipeline over a search index, using the
+// platform's annotator and the default extractor pair (infobox rules +
+// annotation-driven text patterns) with the given fuser.
+func (p *Platform) BuildODKE(index *websearch.Index, fuser Fuser) error {
+	if p.annotator == nil {
+		return errors.New("saga: annotator required for ODKE; call BuildAnnotator first")
+	}
+	resolver := odke.NewEntityResolver(p.graph)
+	extractors := []odke.Extractor{
+		odke.NewInfoboxExtractor(p.graph, resolver),
+		odke.NewTextExtractor(p.graph),
+	}
+	pipe, err := odke.NewPipeline(p.graph, index, p.annotator, extractors, fuser)
+	if err != nil {
+		return fmt.Errorf("saga: build ODKE: %w", err)
+	}
+	p.odkePipe = pipe
+	return nil
+}
+
+// ODKE returns the extraction pipeline, or nil before BuildODKE.
+func (p *Platform) ODKE() *ODKEPipeline { return p.odkePipe }
+
+// FindGaps profiles the KG (and optional query log) for missing/stale
+// facts.
+func (p *Platform) FindGaps(queryLog []QueryLogEntry, cfg ProfilerConfig) []Gap {
+	return odke.FindGaps(p.graph, queryLog, cfg)
+}
+
+// RunODKE executes the extraction pipeline over the gaps.
+func (p *Platform) RunODKE(gaps []Gap) (ODKEReport, error) {
+	if p.odkePipe == nil {
+		return ODKEReport{}, errors.New("saga: ODKE not built; call BuildODKE first")
+	}
+	return p.odkePipe.Run(gaps)
+}
