@@ -383,6 +383,102 @@ func BenchmarkGraphAssert(b *testing.B) {
 	}
 }
 
+// BenchmarkTripleKey compares the two fact-identity representations: the
+// comparable TripleKey struct (what the graph's indexes key on) vs the
+// legacy SPO() string build. Each iteration keys a map insert + lookup,
+// the exact operation pair Assert and HasFact perform.
+func BenchmarkTripleKey(b *testing.B) {
+	g := kg.NewGraph()
+	p, _ := g.AddPredicate(kg.Predicate{Name: "p"})
+	const pool = 4096
+	triples := make([]kg.Triple, pool)
+	for i := range triples {
+		id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		triples[i] = kg.Triple{Subject: id, Predicate: p, Object: kg.IntValue(int64(i))}
+	}
+	b.Run("struct", func(b *testing.B) {
+		set := make(map[kg.TripleKey]struct{}, pool)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := triples[i%pool].IdentityKey()
+			if _, dup := set[k]; !dup {
+				set[k] = struct{}{}
+			}
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		set := make(map[string]struct{}, pool)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := triples[i%pool].SPO()
+			if _, dup := set[k]; !dup {
+				set[k] = struct{}{}
+			}
+		}
+	})
+}
+
+// BenchmarkPPRSnapshot compares personalized PageRank over the cached CSR
+// adjacency snapshot (the engine's path) against the pre-snapshot
+// formulation that re-derives each node's neighborhood from the triple
+// indexes under the graph lock on every visit.
+func BenchmarkPPRSnapshot(b *testing.B) {
+	f := getFixture(b)
+	people := f.w.People
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = f.engine.PersonalizedPageRank(people[i%len(people)], 0.15, 15)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		g := f.w.Graph
+		neighbors := func(id kg.EntityID) []kg.EntityID {
+			set := make(map[kg.EntityID]struct{})
+			for _, t := range g.Outgoing(id) {
+				if t.Object.IsEntity() {
+					set[t.Object.Entity] = struct{}{}
+				}
+			}
+			for _, t := range g.Incoming(id) {
+				set[t.Subject] = struct{}{}
+			}
+			delete(set, id)
+			out := make([]kg.EntityID, 0, len(set))
+			for n := range set {
+				out = append(out, n)
+			}
+			return out
+		}
+		ppr := func(source kg.EntityID, alpha float64, iters int) map[kg.EntityID]float64 {
+			rank := map[kg.EntityID]float64{source: 1}
+			for it := 0; it < iters; it++ {
+				next := make(map[kg.EntityID]float64, len(rank))
+				next[source] += alpha
+				for u, r := range rank {
+					nbrs := neighbors(u)
+					if len(nbrs) == 0 {
+						next[source] += (1 - alpha) * r
+						continue
+					}
+					share := (1 - alpha) * r / float64(len(nbrs))
+					for _, v := range nbrs {
+						next[v] += share
+					}
+				}
+				rank = next
+			}
+			return rank
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ppr(people[i%len(people)], 0.15, 15)
+		}
+	})
+}
+
 // BenchmarkSearch measures BM25 query latency on the fixture corpus.
 func BenchmarkSearch(b *testing.B) {
 	f := getFixture(b)

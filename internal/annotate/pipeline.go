@@ -149,11 +149,11 @@ func (p *Pipeline) LinkToGraph(g *kg.Graph) (int, error) {
 				Object:    kg.EntityValue(docEnt),
 				Prov:      kg.Provenance{Source: "semantic-annotation", Confidence: ann.Score},
 			}
-			before := g.NumTriples()
-			if err := g.Assert(tr); err != nil {
+			isNew, err := g.AssertNew(tr)
+			if err != nil {
 				return added, err
 			}
-			if g.NumTriples() > before {
+			if isNew {
 				added++
 			}
 		}

@@ -50,9 +50,13 @@ func (c *WalkEmbedConfig) setDefaults() {
 func TrainWalkEmbeddings(e *graphengine.Engine, entities []kg.EntityID, cfg WalkEmbedConfig) map[kg.EntityID]vecindex.Vector {
 	cfg.setDefaults()
 	out := make(map[kg.EntityID]vecindex.Vector, len(entities))
+	// Acquire the CSR adjacency snapshot once: all sources walk the same
+	// consistent graph state, and the per-source staleness check (a lock
+	// acquisition per RandomWalks call) disappears from the training loop.
+	snap := e.Snapshot()
 	for _, src := range entities {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(src)*0x9E3779B9))
-		walks := e.RandomWalks(src, cfg.WalksPerNode, cfg.WalkLength, rng)
+		walks := snap.RandomWalks(src, cfg.WalksPerNode, cfg.WalkLength, rng)
 		co := graphengine.CoOccurrence(walks)
 		vec := make(vecindex.Vector, cfg.Dim)
 		for other, count := range co {

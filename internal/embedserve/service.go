@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"saga/internal/embedding"
 	"saga/internal/kg"
@@ -39,7 +40,31 @@ type Service struct {
 	// verifyThreshold classifies triples in VerifyFact.
 	verifyThreshold float64
 	thresholdSet    bool
+
+	// relCache memoizes RelatedEntities results per (entity, k). Related-
+	// entity queries are repetitive under production traffic (hot entities
+	// dominate), and the answer is a pure function of the backing vector
+	// index, so entries are valid exactly as long as the index the result
+	// was computed from is unchanged: relIdx/relVersion record that
+	// watermark and a mismatch drops the whole cache (paper §3.2:
+	// "precompute ... and cache the results in a low-latency key-value
+	// store").
+	relMu      sync.RWMutex
+	relCache   map[relCacheKey][]ScoredEntity
+	relIdx     *vecindex.FlatIndex
+	relVersion uint64
 }
+
+// relCacheKey identifies one cached RelatedEntities result.
+type relCacheKey struct {
+	id kg.EntityID
+	k  int
+}
+
+// relCacheMax bounds relCache. A full cache is dropped wholesale and
+// rebuilt from live traffic — hot entities repopulate immediately, and
+// the simple flush avoids per-entry LRU bookkeeping on the serving path.
+const relCacheMax = 1 << 14
 
 // New builds a service from a trained model and the dataset that defines
 // its index space.
@@ -171,21 +196,60 @@ type ScoredEntity struct {
 // embeddings when installed (the paper's specialized related-entity path)
 // and falls back to model-embedding kNN.
 func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error) {
+	idx := s.walkIndex
+	if idx == nil {
+		idx = s.entIndex
+	}
+	ver := idx.Version()
+	key := relCacheKey{id: id, k: k}
+	s.relMu.RLock()
+	if s.relIdx == idx && s.relVersion == ver {
+		if res, ok := s.relCache[key]; ok {
+			s.relMu.RUnlock()
+			return append([]ScoredEntity(nil), res...), nil
+		}
+	}
+	s.relMu.RUnlock()
+
+	var out []ScoredEntity
 	if s.walkIndex != nil {
 		v, ok := s.walkVecs[id]
 		if !ok {
 			return nil, fmt.Errorf("embedserve: entity %v has no walk embedding", id)
 		}
 		res := s.walkIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
-		return toScored(res, k), nil
+		out = toScored(res, k)
+	} else {
+		v, ok := s.entIndex.Get(uint64(id))
+		if !ok {
+			return nil, fmt.Errorf("embedserve: entity %v not in embedding space", id)
+		}
+		vecindex.Normalize(v)
+		res := s.entIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+		out = toScored(res, k)
 	}
-	v, ok := s.entIndex.Get(uint64(id))
-	if !ok {
-		return nil, fmt.Errorf("embedserve: entity %v not in embedding space", id)
+
+	s.relMu.Lock()
+	switch {
+	case s.relIdx == idx && s.relVersion == ver:
+		if len(s.relCache) >= relCacheMax {
+			s.relCache = make(map[relCacheKey][]ScoredEntity)
+		}
+		s.relCache[key] = out
+	case s.relIdx != idx || s.relVersion < ver:
+		// Our epoch is newer than the resident cache: replace it.
+		s.relCache = map[relCacheKey][]ScoredEntity{key: out}
+		s.relIdx = idx
+		s.relVersion = ver
+	default:
+		// The resident cache was built from a newer index version than
+		// the one we read before searching; installing our (possibly
+		// stale) result would wipe fresh entries for a version no future
+		// reader matches. Drop it.
 	}
-	vecindex.Normalize(v)
-	res := s.entIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
-	return toScored(res, k), nil
+	s.relMu.Unlock()
+	// Return a copy: callers may re-sort or truncate their result.
+	return append([]ScoredEntity(nil), out...), nil
 }
 
 // NearestByVector returns the k entities nearest to an arbitrary query

@@ -25,33 +25,35 @@ func P(id kg.PredicateID) *kg.PredicateID { return &id }
 func O(v kg.Value) *kg.Value { return &v }
 
 // Query returns all triples matching the pattern, choosing the cheapest
-// index for the bound positions.
+// index for the bound positions. Filtered cases stream candidates under
+// the graph's read lock (FactsFunc/OutgoingFunc/IncomingFunc) instead of
+// copying index slices that are immediately discarded.
 func (e *Engine) Query(p Pattern) []kg.Triple {
 	g := e.g
 	switch {
 	case p.Subject != nil && p.Predicate != nil:
-		facts := g.Facts(*p.Subject, *p.Predicate)
 		if p.Object == nil {
-			return facts
+			return g.Facts(*p.Subject, *p.Predicate)
 		}
 		var out []kg.Triple
-		for _, t := range facts {
+		g.FactsFunc(*p.Subject, *p.Predicate, func(t kg.Triple) bool {
 			if t.Object.Equal(*p.Object) {
 				out = append(out, t)
 			}
-		}
+			return true
+		})
 		return out
 	case p.Subject != nil:
-		facts := g.Outgoing(*p.Subject)
 		if p.Object == nil {
-			return facts
+			return g.Outgoing(*p.Subject)
 		}
 		var out []kg.Triple
-		for _, t := range facts {
+		g.OutgoingFunc(*p.Subject, func(t kg.Triple) bool {
 			if t.Object.Equal(*p.Object) {
 				out = append(out, t)
 			}
-		}
+			return true
+		})
 		return out
 	case p.Predicate != nil && p.Object != nil:
 		subs := g.SubjectsWith(*p.Predicate, *p.Object)
@@ -61,16 +63,16 @@ func (e *Engine) Query(p Pattern) []kg.Triple {
 		}
 		return out
 	case p.Object != nil && p.Object.IsEntity():
-		incoming := g.Incoming(p.Object.Entity)
 		if p.Predicate == nil {
-			return incoming
+			return g.Incoming(p.Object.Entity)
 		}
 		var out []kg.Triple
-		for _, t := range incoming {
+		g.IncomingFunc(p.Object.Entity, func(t kg.Triple) bool {
 			if t.Predicate == *p.Predicate {
 				out = append(out, t)
 			}
-		}
+			return true
+		})
 		return out
 	default:
 		// Full scan with residual filters.
@@ -90,36 +92,27 @@ func (e *Engine) Query(p Pattern) []kg.Triple {
 }
 
 // Neighbors returns the distinct entities adjacent to id via entity-valued
-// facts in either direction.
+// facts in either direction, sorted ascending. It reads the cached CSR
+// snapshot; the result is a fresh copy the caller may keep.
 func (e *Engine) Neighbors(id kg.EntityID) []kg.EntityID {
-	set := make(map[kg.EntityID]struct{})
-	for _, t := range e.g.Outgoing(id) {
-		if t.Object.IsEntity() {
-			set[t.Object.Entity] = struct{}{}
-		}
+	nbrs := e.Snapshot().Neighbors(id)
+	if len(nbrs) == 0 {
+		return nil
 	}
-	for _, t := range e.g.Incoming(id) {
-		set[t.Subject] = struct{}{}
-	}
-	delete(set, id)
-	out := make([]kg.EntityID, 0, len(set))
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]kg.EntityID(nil), nbrs...)
 }
 
 // BFS returns the shortest hop distance from source to every entity within
 // maxDepth hops (undirected over entity-valued facts). The source maps to
 // distance 0.
 func (e *Engine) BFS(source kg.EntityID, maxDepth int) map[kg.EntityID]int {
+	snap := e.Snapshot()
 	dist := map[kg.EntityID]int{source: 0}
 	frontier := []kg.EntityID{source}
 	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
 		var next []kg.EntityID
 		for _, u := range frontier {
-			for _, v := range e.Neighbors(u) {
+			for _, v := range snap.Neighbors(u) {
 				if _, seen := dist[v]; !seen {
 					dist[v] = depth
 					next = append(next, v)
@@ -135,23 +128,81 @@ func (e *Engine) BFS(source kg.EntityID, maxDepth int) map[kg.EntityID]int {
 // power iteration with restart probability alpha over the undirected
 // entity graph. Higher mass = more related. iters controls convergence;
 // 20 is plenty for ranking purposes.
+//
+// The iteration runs over the cached CSR snapshot — no lock acquisitions,
+// map builds, or sorts per node visit. On small graphs it uses dense rank
+// arrays indexed by entity ID (fastest, O(numEntities) memory); past
+// pprDenseLimit entities it switches to sparse map iteration so a
+// localized query on a huge graph stays O(touched neighborhood) instead
+// of allocating and scanning arrays sized to the whole entity space.
 func (e *Engine) PersonalizedPageRank(source kg.EntityID, alpha float64, iters int) map[kg.EntityID]float64 {
 	if alpha <= 0 || alpha >= 1 {
 		alpha = 0.15
 	}
+	snap := e.Snapshot()
+	n := len(snap.offsets) - 1
+	if int(source) >= n {
+		// Source has no adjacency row: all mass stays at the source.
+		return map[kg.EntityID]float64{source: 1}
+	}
+	if n <= pprDenseLimit {
+		return pprDense(snap, source, alpha, iters)
+	}
+	return pprSparse(snap, source, alpha, iters)
+}
+
+// pprDenseLimit is the entity count above which PersonalizedPageRank
+// switches from dense rank arrays to sparse maps. 1<<16 entities keeps
+// the dense working set around 1 MiB (two float64 arrays).
+const pprDenseLimit = 1 << 16
+
+func pprDense(snap *AdjacencySnapshot, source kg.EntityID, alpha float64, iters int) map[kg.EntityID]float64 {
+	n := len(snap.offsets) - 1
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	rank[source] = 1
+	for it := 0; it < iters; it++ {
+		clear(next)
+		next[source] += alpha
+		for u, r := range rank {
+			if r == 0 {
+				continue
+			}
+			row := snap.nbrs[snap.offsets[u]:snap.offsets[u+1]]
+			if len(row) == 0 {
+				// Dangling mass restarts.
+				next[source] += (1 - alpha) * r
+				continue
+			}
+			share := (1 - alpha) * r / float64(len(row))
+			for _, v := range row {
+				next[v] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	out := make(map[kg.EntityID]float64)
+	for id, r := range rank {
+		if r != 0 {
+			out[kg.EntityID(id)] = r
+		}
+	}
+	return out
+}
+
+func pprSparse(snap *AdjacencySnapshot, source kg.EntityID, alpha float64, iters int) map[kg.EntityID]float64 {
 	rank := map[kg.EntityID]float64{source: 1}
 	for it := 0; it < iters; it++ {
 		next := make(map[kg.EntityID]float64, len(rank))
 		next[source] += alpha
 		for u, r := range rank {
-			nbrs := e.Neighbors(u)
-			if len(nbrs) == 0 {
-				// Dangling mass restarts.
+			row := snap.Neighbors(u)
+			if len(row) == 0 {
 				next[source] += (1 - alpha) * r
 				continue
 			}
-			share := (1 - alpha) * r / float64(len(nbrs))
-			for _, v := range nbrs {
+			share := (1 - alpha) * r / float64(len(row))
+			for _, v := range row {
 				next[v] += share
 			}
 		}
@@ -192,36 +243,28 @@ type ScoredEntity struct {
 // source over the undirected entity graph, using rng for reproducibility.
 // The embedding pipeline pre-computes these traversals to build
 // related-entity training samples (§2's third scalability approach).
+// Steps are CSR slice lookups on the cached snapshot.
 func (e *Engine) RandomWalks(source kg.EntityID, n, length int, rng *rand.Rand) [][]kg.EntityID {
-	walks := make([][]kg.EntityID, 0, n)
-	for i := 0; i < n; i++ {
-		walk := make([]kg.EntityID, 0, length+1)
-		walk = append(walk, source)
-		cur := source
-		for step := 0; step < length; step++ {
-			nbrs := e.Neighbors(cur)
-			if len(nbrs) == 0 {
-				break
-			}
-			cur = nbrs[rng.Intn(len(nbrs))]
-			walk = append(walk, cur)
-		}
-		walks = append(walks, walk)
-	}
-	return walks
+	return e.Snapshot().RandomWalks(source, n, length, rng)
 }
 
 // CoOccurrence counts how often each entity co-occurs with source across
 // the provided walks (excluding the source itself). The counts feed the
-// related-entity embedding trainer.
+// related-entity embedding trainer. The per-walk dedup set is reused
+// across walks rather than allocated per walk.
 func CoOccurrence(walks [][]kg.EntityID) map[kg.EntityID]int {
-	counts := make(map[kg.EntityID]int)
+	hint := 0
+	for _, w := range walks {
+		hint += len(w)
+	}
+	counts := make(map[kg.EntityID]int, hint/2)
+	seen := make(map[kg.EntityID]bool, hint/2)
 	for _, w := range walks {
 		if len(w) == 0 {
 			continue
 		}
 		src := w[0]
-		seen := make(map[kg.EntityID]bool)
+		clear(seen)
 		for _, v := range w[1:] {
 			if v != src && !seen[v] {
 				counts[v]++

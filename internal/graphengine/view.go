@@ -54,7 +54,7 @@ type View struct {
 	mu      sync.RWMutex
 	g       *kg.Graph
 	triples []kg.Triple
-	keys    map[string]int // SPO -> index in triples
+	keys    map[kg.TripleKey]int // SPO identity -> index in triples
 	// predFreq is the frequency snapshot used for MinPredicateFreq
 	// decisions; it is computed at materialization time.
 	predFreq map[kg.PredicateID]int
@@ -64,12 +64,17 @@ type View struct {
 // Def returns the view's definition.
 func (v *View) Def() ViewDef { return v.def }
 
-// Engine wraps a graph with query and view capabilities.
+// Engine wraps a graph with query and view capabilities, plus a cached
+// CSR adjacency snapshot (see AdjacencySnapshot) that the traversal
+// methods read lock-free and that is invalidated by the graph's mutation
+// watermark.
 type Engine struct {
 	g *kg.Graph
 
 	mu    sync.Mutex
 	views map[string]*View
+
+	snap snapshotCache
 }
 
 // New returns an engine over g.
@@ -93,23 +98,28 @@ func (e *Engine) Materialize(def ViewDef) *View {
 	v := &View{
 		def:      def,
 		g:        e.g,
-		keys:     make(map[string]int),
+		keys:     make(map[kg.TripleKey]int),
 		predFreq: make(map[kg.PredicateID]int),
 	}
-	// Snapshot predicate frequencies first so the MinPredicateFreq
-	// decision is stable for the whole materialization.
-	e.g.Triples(func(t kg.Triple) bool {
+	// Collect the triples and the watermark in one lock window
+	// (TriplesSnapshot), tallying predicate frequencies as we go so the
+	// MinPredicateFreq decision is stable for the whole materialization;
+	// filtering happens outside the lock against the collected set. A
+	// separate frequency pass followed by LastSeq would let a concurrent
+	// writer slip a mutation between the two, permanently skewing
+	// predFreq against the watermark Refresh resumes from.
+	var all []kg.Triple
+	v.seq = e.g.TriplesSnapshot(func(t kg.Triple) bool {
 		v.predFreq[t.Predicate]++
+		all = append(all, t)
 		return true
 	})
-	v.seq = e.g.LastSeq()
-	e.g.Triples(func(t kg.Triple) bool {
+	for _, t := range all {
 		if v.match(t) {
-			v.keys[t.SPO()] = len(v.triples)
+			v.keys[t.IdentityKey()] = len(v.triples)
 			v.triples = append(v.triples, t)
 		}
-		return true
-	})
+	}
 	if def.Name != "" {
 		e.mu.Lock()
 		e.views[def.Name] = v
@@ -175,7 +185,7 @@ func (v *View) Refresh() int {
 			if !v.match(m.T) {
 				continue
 			}
-			key := m.T.SPO()
+			key := m.T.IdentityKey()
 			if _, dup := v.keys[key]; dup {
 				continue
 			}
@@ -184,7 +194,7 @@ func (v *View) Refresh() int {
 			applied++
 		case kg.OpRetract:
 			v.predFreq[m.T.Predicate]--
-			key := m.T.SPO()
+			key := m.T.IdentityKey()
 			idx, ok := v.keys[key]
 			if !ok {
 				continue
@@ -192,7 +202,7 @@ func (v *View) Refresh() int {
 			last := len(v.triples) - 1
 			if idx != last {
 				v.triples[idx] = v.triples[last]
-				v.keys[v.triples[idx].SPO()] = idx
+				v.keys[v.triples[idx].IdentityKey()] = idx
 			}
 			v.triples = v.triples[:last]
 			delete(v.keys, key)
@@ -222,7 +232,7 @@ func (v *View) Len() int {
 func (v *View) Contains(t kg.Triple) bool {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	_, ok := v.keys[t.SPO()]
+	_, ok := v.keys[t.IdentityKey()]
 	return ok
 }
 

@@ -51,11 +51,31 @@ type Predicate struct {
 // SPO/POS/OSP indexes, and a mutation log. It is safe for concurrent use;
 // reads take a shared lock.
 //
-// Index layout:
+// # Index layout and key encoding
 //
-//	spo: subject -> predicate -> []Triple        (fact lookup, outgoing)
-//	pos: predicate -> object-key -> []EntityID   (reverse fact lookup)
-//	osp: object-entity -> []Triple               (incoming entity edges)
+//	spo: subject -> predicate -> []Triple          (fact lookup, outgoing)
+//	pos: predicate -> ValueKey -> []EntityID       (reverse fact lookup)
+//	osp: object-entity -> []Triple                 (incoming entity edges)
+//	tripleKeys: set of TripleKey                   (SPO identity, dedup)
+//
+// Fact identity is the comparable TripleKey struct (subject ID, predicate
+// ID, object ValueKey); see ValueKey for the per-kind payload encoding.
+// No strings are built on the Assert/Retract/HasFact paths. Index slices
+// and inner maps are deleted as they drain, so a long-lived graph under
+// assert/retract churn does not leak map entries.
+//
+// # Mutation log and watermark semantics
+//
+// Every successful Assert/Retract appends a Mutation with a sequence
+// number that increases by exactly 1; nextSeq is the watermark of the
+// latest applied mutation. LastSeq()/TriplesSnapshot() expose it so
+// derived structures (materialized views, adjacency snapshots) can record
+// the watermark they were built at and later decide staleness with a
+// single comparison: a derived structure at watermark w reflects exactly
+// the first w mutations. Registering entities or predicates does not bump
+// the watermark — a new entity is observable in derived edge structures
+// only once a triple mentions it, and asserting that triple bumps the
+// watermark.
 type Graph struct {
 	mu sync.RWMutex
 
@@ -67,14 +87,14 @@ type Graph struct {
 	predByName map[string]PredicateID
 
 	spo map[EntityID]map[PredicateID][]Triple
-	pos map[PredicateID]map[string][]EntityID
+	pos map[PredicateID]map[ValueKey][]EntityID
 	osp map[EntityID][]Triple
 
 	predCount map[PredicateID]int // triples per predicate, for frequency filtering
 
 	log        []Mutation
 	nextSeq    uint64
-	tripleKeys map[string]struct{} // SPO identity set for dedup
+	tripleKeys map[TripleKey]struct{} // SPO identity set for dedup
 }
 
 // NewGraph returns an empty graph with a fresh ontology.
@@ -86,10 +106,10 @@ func NewGraph() *Graph {
 		predicates: []*Predicate{nil},
 		predByName: make(map[string]PredicateID),
 		spo:        make(map[EntityID]map[PredicateID][]Triple),
-		pos:        make(map[PredicateID]map[string][]EntityID),
+		pos:        make(map[PredicateID]map[ValueKey][]EntityID),
 		osp:        make(map[EntityID][]Triple),
 		predCount:  make(map[PredicateID]int),
-		tripleKeys: make(map[string]struct{}),
+		tripleKeys: make(map[TripleKey]struct{}),
 	}
 }
 
@@ -192,6 +212,17 @@ func (g *Graph) PredicateByName(name string) (*Predicate, bool) {
 func (g *Graph) Assert(t Triple) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	_, err := g.assertLocked(t)
+	return err
+}
+
+// AssertNew is Assert, additionally reporting whether the fact was newly
+// added (false means a fact with the same SPO identity already existed).
+// It replaces the NumTriples-before/after pattern callers used to detect
+// duplicate asserts, which cost two extra lock round-trips per triple.
+func (g *Graph) AssertNew(t Triple) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.assertLocked(t)
 }
 
@@ -200,29 +231,29 @@ func (g *Graph) AssertAll(ts []Triple) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, t := range ts {
-		if err := g.assertLocked(t); err != nil {
+		if _, err := g.assertLocked(t); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (g *Graph) assertLocked(t Triple) error {
+func (g *Graph) assertLocked(t Triple) (added bool, err error) {
 	if int(t.Subject) >= len(g.entities) || t.Subject == NoEntity {
-		return fmt.Errorf("kg: assert: unknown subject %v", t.Subject)
+		return false, fmt.Errorf("kg: assert: unknown subject %v", t.Subject)
 	}
 	if int(t.Predicate) >= len(g.predicates) || t.Predicate == NoPredicate {
-		return fmt.Errorf("kg: assert: unknown predicate %v", t.Predicate)
+		return false, fmt.Errorf("kg: assert: unknown predicate %v", t.Predicate)
 	}
 	if t.Object.Kind == 0 {
-		return fmt.Errorf("kg: assert: invalid object value")
+		return false, fmt.Errorf("kg: assert: invalid object value")
 	}
 	if t.Object.IsEntity() && (int(t.Object.Entity) >= len(g.entities) || t.Object.Entity == NoEntity) {
-		return fmt.Errorf("kg: assert: unknown object entity %v", t.Object.Entity)
+		return false, fmt.Errorf("kg: assert: unknown object entity %v", t.Object.Entity)
 	}
-	key := t.SPO()
+	key := t.IdentityKey()
 	if _, dup := g.tripleKeys[key]; dup {
-		return nil
+		return false, nil
 	}
 	g.tripleKeys[key] = struct{}{}
 
@@ -235,11 +266,10 @@ func (g *Graph) assertLocked(t Triple) error {
 
 	byPred := g.pos[t.Predicate]
 	if byPred == nil {
-		byPred = make(map[string][]EntityID)
+		byPred = make(map[ValueKey][]EntityID)
 		g.pos[t.Predicate] = byPred
 	}
-	ok := t.Object.Key()
-	byPred[ok] = append(byPred[ok], t.Subject)
+	byPred[key.Object] = append(byPred[key.Object], t.Subject)
 
 	if t.Object.IsEntity() {
 		g.osp[t.Object.Entity] = append(g.osp[t.Object.Entity], t)
@@ -248,7 +278,7 @@ func (g *Graph) assertLocked(t Triple) error {
 
 	g.nextSeq++
 	g.log = append(g.log, Mutation{Seq: g.nextSeq, Op: OpAssert, T: t})
-	return nil
+	return true, nil
 }
 
 // Retract removes the fact with the same SPO identity as t, if present,
@@ -256,7 +286,7 @@ func (g *Graph) assertLocked(t Triple) error {
 func (g *Graph) Retract(t Triple) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	key := t.SPO()
+	key := t.IdentityKey()
 	if _, ok := g.tripleKeys[key]; !ok {
 		return false
 	}
@@ -267,16 +297,24 @@ func (g *Graph) Retract(t Triple) bool {
 		if len(bySubj[t.Predicate]) == 0 {
 			delete(bySubj, t.Predicate)
 		}
+		if len(bySubj) == 0 {
+			delete(g.spo, t.Subject)
+		}
 	}
 	if byPred := g.pos[t.Predicate]; byPred != nil {
-		ok := t.Object.Key()
-		byPred[ok] = removeEntity(byPred[ok], t.Subject)
-		if len(byPred[ok]) == 0 {
-			delete(byPred, ok)
+		byPred[key.Object] = removeEntity(byPred[key.Object], t.Subject)
+		if len(byPred[key.Object]) == 0 {
+			delete(byPred, key.Object)
+		}
+		if len(byPred) == 0 {
+			delete(g.pos, t.Predicate)
 		}
 	}
 	if t.Object.IsEntity() {
 		g.osp[t.Object.Entity] = removeTriple(g.osp[t.Object.Entity], t)
+		if len(g.osp[t.Object.Entity]) == 0 {
+			delete(g.osp, t.Object.Entity)
+		}
 	}
 	g.predCount[t.Predicate]--
 
@@ -317,6 +355,33 @@ func (g *Graph) Facts(subj EntityID, pred PredicateID) []Triple {
 	return out
 }
 
+// FactsFunc streams the (subj, pred) triples to fn under the read lock,
+// stopping early if fn returns false. It is the copy-free counterpart of
+// Facts for callers that filter or aggregate and would discard the slice.
+// fn must not mutate the graph or retain the Triple's interior slices.
+func (g *Graph) FactsFunc(subj EntityID, pred PredicateID, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	bySubj := g.spo[subj]
+	if bySubj == nil {
+		return
+	}
+	for _, t := range bySubj[pred] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// HasFacts reports whether at least one (subj, pred, *) fact is asserted,
+// without materializing the fact slice.
+func (g *Graph) HasFacts(subj EntityID, pred PredicateID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	bySubj := g.spo[subj]
+	return bySubj != nil && len(bySubj[pred]) > 0
+}
+
 // Outgoing returns every triple whose subject is subj.
 func (g *Graph) Outgoing(subj EntityID) []Triple {
 	g.mu.RLock()
@@ -326,6 +391,21 @@ func (g *Graph) Outgoing(subj EntityID) []Triple {
 		out = append(out, ts...)
 	}
 	return out
+}
+
+// OutgoingFunc streams every triple whose subject is subj to fn under the
+// read lock, stopping early if fn returns false. Iteration order across
+// predicates is unspecified. fn must not mutate the graph.
+func (g *Graph) OutgoingFunc(subj EntityID, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, ts := range g.spo[subj] {
+		for _, t := range ts {
+			if !fn(t) {
+				return
+			}
+		}
+	}
 }
 
 // Incoming returns every triple whose object is the entity obj.
@@ -338,6 +418,19 @@ func (g *Graph) Incoming(obj EntityID) []Triple {
 	return out
 }
 
+// IncomingFunc streams every triple whose object is the entity obj to fn
+// under the read lock, stopping early if fn returns false. fn must not
+// mutate the graph.
+func (g *Graph) IncomingFunc(obj EntityID, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, t := range g.osp[obj] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
 // SubjectsWith returns the subjects that carry (pred, obj) facts.
 func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
 	g.mu.RLock()
@@ -346,7 +439,7 @@ func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
 	if byPred == nil {
 		return nil
 	}
-	es := byPred[obj.Key()]
+	es := byPred[obj.MapKey()]
 	out := make([]EntityID, len(es))
 	copy(out, es)
 	return out
@@ -356,7 +449,7 @@ func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
 func (g *Graph) HasFact(subj EntityID, pred PredicateID, obj Value) bool {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	_, ok := g.tripleKeys[Triple{Subject: subj, Predicate: pred, Object: obj}.SPO()]
+	_, ok := g.tripleKeys[TripleKey{Subject: subj, Predicate: pred, Object: obj.MapKey()}]
 	return ok
 }
 
@@ -405,8 +498,30 @@ func (g *Graph) Triples(fn func(Triple) bool) {
 	}
 }
 
+// TriplesSnapshot streams every asserted triple to fn like Triples and
+// returns the mutation watermark the iteration reflects. Both happen
+// under one read-lock acquisition, so derived structures (adjacency
+// snapshots, views) get a consistent (triples, watermark) pair: the
+// visited triples are exactly the state after the first `seq` mutations.
+func (g *Graph) TriplesSnapshot(fn func(Triple) bool) (seq uint64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, bySubj := range g.spo {
+		for _, ts := range bySubj {
+			for _, t := range ts {
+				if !fn(t) {
+					return g.nextSeq
+				}
+			}
+		}
+	}
+	return g.nextSeq
+}
+
 // AllTriples materializes every asserted triple in a deterministic order
-// (by subject, then predicate, then object key).
+// (by subject, then predicate, then object identity key). Object keys are
+// precomputed once per triple instead of being rebuilt O(n log n) times
+// inside the sort comparator.
 func (g *Graph) AllTriples() []Triple {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -416,6 +531,11 @@ func (g *Graph) AllTriples() []Triple {
 		subjects = append(subjects, s)
 	}
 	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	type keyed struct {
+		t Triple
+		k ValueKey
+	}
+	var scratch []keyed
 	for _, s := range subjects {
 		bySubj := g.spo[s]
 		preds := make([]PredicateID, 0, len(bySubj))
@@ -424,9 +544,14 @@ func (g *Graph) AllTriples() []Triple {
 		}
 		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
 		for _, p := range preds {
-			ts := append([]Triple(nil), bySubj[p]...)
-			sort.Slice(ts, func(i, j int) bool { return ts[i].Object.Key() < ts[j].Object.Key() })
-			out = append(out, ts...)
+			scratch = scratch[:0]
+			for _, t := range bySubj[p] {
+				scratch = append(scratch, keyed{t: t, k: t.Object.MapKey()})
+			}
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i].k.Compare(scratch[j].k) < 0 })
+			for _, kt := range scratch {
+				out = append(out, kt.t)
+			}
 		}
 	}
 	return out

@@ -2,6 +2,7 @@ package kg
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -29,10 +30,45 @@ type Triple struct {
 	Prov      Provenance
 }
 
-// SPO returns the (subject, predicate, object-key) identity of the triple,
-// ignoring provenance. Two triples with equal SPO assert the same fact.
+// TripleKey is the comparable (subject, predicate, object) identity of a
+// triple, ignoring provenance. Two triples with equal TripleKeys assert
+// the same fact. It keys the graph's dedup set and materialized-view
+// indexes without the per-operation string build SPO() requires.
+type TripleKey struct {
+	Subject   EntityID
+	Predicate PredicateID
+	Object    ValueKey
+}
+
+// Compare totally orders triple keys by subject, predicate, then object
+// key. The order is arbitrary but stable.
+func (k TripleKey) Compare(o TripleKey) int {
+	if k.Subject != o.Subject {
+		if k.Subject < o.Subject {
+			return -1
+		}
+		return 1
+	}
+	if k.Predicate != o.Predicate {
+		if k.Predicate < o.Predicate {
+			return -1
+		}
+		return 1
+	}
+	return k.Object.Compare(o.Object)
+}
+
+// IdentityKey returns the triple's comparable SPO identity.
+func (t Triple) IdentityKey() TripleKey {
+	return TripleKey{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object.MapKey()}
+}
+
+// SPO returns the (subject, predicate, object-key) identity of the triple
+// as a printable string, ignoring provenance. Hot paths use IdentityKey;
+// SPO remains for rendering and debugging.
 func (t Triple) SPO() string {
-	return fmt.Sprintf("%d|%d|%s", t.Subject, t.Predicate, t.Object.Key())
+	return strconv.FormatUint(uint64(t.Subject), 10) + "|" +
+		strconv.FormatUint(uint64(t.Predicate), 10) + "|" + t.Object.Key()
 }
 
 func (t Triple) String() string {

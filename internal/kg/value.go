@@ -2,6 +2,7 @@ package kg
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 )
@@ -118,8 +119,70 @@ func (v Value) Equal(o Value) bool {
 	}
 }
 
+// ValueKey is the comparable identity of a Value: two Values denote the
+// same object iff their ValueKeys are equal (with Value.Equal semantics,
+// modulo the ±0.0 and NaN-payload caveats float bit patterns imply — the
+// same caveats the string Key() encoding has always had). It is a plain
+// struct so it can key Go maps with zero allocation, unlike the
+// Sprintf-built string keys it replaces on the hot Assert/Retract/HasFact
+// paths.
+//
+// Encoding: Kind discriminates; Num carries the payload for every
+// non-string kind (entity ID, int, bool as 0/1, float as IEEE-754 bits,
+// time as UnixNano); Str carries string literals. The zero ValueKey is
+// the identity of the invalid zero Value.
+type ValueKey struct {
+	Kind ValueKind
+	Num  int64
+	Str  string
+}
+
+// MapKey returns the comparable identity key of the value.
+func (v Value) MapKey() ValueKey {
+	switch v.Kind {
+	case KindEntity:
+		return ValueKey{Kind: KindEntity, Num: int64(v.Entity)}
+	case KindString:
+		return ValueKey{Kind: KindString, Str: v.Str}
+	case KindInt, KindBool:
+		return ValueKey{Kind: v.Kind, Num: v.Num}
+	case KindFloat:
+		return ValueKey{Kind: KindFloat, Num: int64(math.Float64bits(v.Flt))}
+	case KindTime:
+		return ValueKey{Kind: KindTime, Num: v.TS.UnixNano()}
+	default:
+		return ValueKey{}
+	}
+}
+
+// Compare totally orders value keys (by kind, then numeric payload, then
+// string payload), enabling deterministic sorts without materializing
+// string keys. The order is arbitrary but stable.
+func (k ValueKey) Compare(o ValueKey) int {
+	if k.Kind != o.Kind {
+		if k.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	if k.Num != o.Num {
+		if k.Num < o.Num {
+			return -1
+		}
+		return 1
+	}
+	if k.Str != o.Str {
+		if k.Str < o.Str {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Key returns a string that uniquely identifies the value within its kind.
-// It is used as a map key by the POS index and by fusion grouping.
+// It is retained for rendering and for callers that need a printable
+// identity; index hot paths use the allocation-free MapKey instead.
 func (v Value) Key() string {
 	switch v.Kind {
 	case KindEntity:

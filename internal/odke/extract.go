@@ -217,7 +217,7 @@ func (x *TextExtractor) Extract(doc *webcorpus.Document, anns []annotate.Annotat
 		subjSentences[sentenceOf(s.Start)] = true
 	}
 	var out []CandidateFact
-	seen := make(map[string]bool)
+	seen := make(map[kg.ValueKey]bool)
 	for _, a := range anns {
 		if a.Entity == gap.Subject {
 			continue
@@ -240,10 +240,10 @@ func (x *TextExtractor) Extract(doc *webcorpus.Document, anns []annotate.Annotat
 			continue
 		}
 		val := kg.EntityValue(a.Entity)
-		if seen[val.Key()] {
+		if seen[val.MapKey()] {
 			continue
 		}
-		seen[val.Key()] = true
+		seen[val.MapKey()] = true
 		out = append(out, CandidateFact{
 			Subject:    gap.Subject,
 			Predicate:  gap.Predicate,

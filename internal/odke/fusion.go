@@ -44,14 +44,15 @@ func (f FusionFeatures) vector() []float64 {
 
 const numFusionFeatures = 6
 
-// GroupCandidates buckets candidates by value identity and computes each
-// group's features. Groups are returned sorted by descending support for
-// determinism.
+// GroupCandidates buckets candidates by value identity (the comparable
+// kg.ValueKey, so grouping allocates no per-candidate key strings) and
+// computes each group's features. Groups are returned sorted by
+// descending support for determinism.
 func GroupCandidates(cands []CandidateFact) []ValueGroup {
-	byKey := make(map[string]*ValueGroup)
-	var order []string
+	byKey := make(map[kg.ValueKey]*ValueGroup)
+	var order []kg.ValueKey
 	for _, c := range cands {
-		k := c.Value.Key()
+		k := c.Value.MapKey()
 		g := byKey[k]
 		if g == nil {
 			g = &ValueGroup{Value: c.Value}

@@ -109,8 +109,7 @@ func (p *Pipeline) Run(gaps []Gap) (Report, error) {
 					p.graph.Retract(old)
 				}
 			}
-			before := p.graph.NumTriples()
-			err := p.graph.Assert(kg.Triple{
+			isNew, err := p.graph.AssertNew(kg.Triple{
 				Subject:   gap.Subject,
 				Predicate: gap.Predicate,
 				Object:    fused.Value,
@@ -124,7 +123,7 @@ func (p *Pipeline) Run(gaps []Gap) (Report, error) {
 			if err != nil {
 				return rep, fmt.Errorf("odke: assert fused fact for gap %v: %w", gap, err)
 			}
-			if p.graph.NumTriples() > before {
+			if isNew {
 				rep.FactsAdded++
 			}
 			rep.Filled++
@@ -143,7 +142,7 @@ func Coverage(g *kg.Graph, slots [][2]uint64) float64 {
 	}
 	var have int
 	for _, s := range slots {
-		if len(g.Facts(kg.EntityID(s[0]), kg.PredicateID(s[1]))) > 0 {
+		if g.HasFacts(kg.EntityID(s[0]), kg.PredicateID(s[1])) {
 			have++
 		}
 	}

@@ -130,15 +130,17 @@ func FindGaps(g *kg.Graph, queryLog []workload.QueryLogEntry, cfg ProfilerConfig
 		}
 		return true
 	})
+	predsSeen := make(map[kg.PredicateID]bool)
 	for _, ts := range byType {
 		for _, id := range ts.entities {
-			predsSeen := make(map[kg.PredicateID]bool)
-			for _, tr := range g.Outgoing(id) {
+			clear(predsSeen)
+			g.OutgoingFunc(id, func(tr kg.Triple) bool {
 				if !predsSeen[tr.Predicate] {
 					predsSeen[tr.Predicate] = true
 					ts.predHas[tr.Predicate]++
 				}
-			}
+				return true
+			})
 		}
 	}
 	for _, ts := range byType {
@@ -151,7 +153,7 @@ func FindGaps(g *kg.Graph, queryLog []workload.QueryLogEntry, cfg ProfilerConfig
 				continue // not an expected predicate for this type
 			}
 			for _, id := range ts.entities {
-				if len(g.Facts(id, pred)) > 0 {
+				if g.HasFacts(id, pred) {
 					continue
 				}
 				ent := g.Entity(id)

@@ -78,14 +78,16 @@ func (a *StaticAsset) rebuild() {
 		all = all[:a.topK]
 	}
 	entries := make(map[string]AssetEntry, len(all))
+	var pvs []predValue
 	for _, e := range all {
 		entry := AssetEntry{Key: e.Key, Name: e.Name, Popularity: e.Popularity}
-		for _, tr := range a.graph.Outgoing(e.ID) {
-			p := a.graph.Predicate(tr.Predicate)
+		pvs = collectOutgoing(a.graph, e.ID, pvs[:0])
+		for _, pv := range pvs {
+			p := a.graph.Predicate(pv.pred)
 			if p == nil {
 				continue
 			}
-			entry.Facts = append(entry.Facts, p.Name+"="+tr.Object.String())
+			entry.Facts = append(entry.Facts, p.Name+"="+pv.obj.String())
 		}
 		sort.Strings(entry.Facts)
 		entries[e.Key] = entry
@@ -141,16 +143,36 @@ func (c *PiggybackCache) ServerInteraction(g *kg.Graph, entityKey string) ([]str
 		return nil, false
 	}
 	var facts []string
-	for _, tr := range g.Outgoing(e.ID) {
-		p := g.Predicate(tr.Predicate)
+	for _, pv := range collectOutgoing(g, e.ID, nil) {
+		p := g.Predicate(pv.pred)
 		if p == nil {
 			continue
 		}
-		facts = append(facts, p.Name+"="+tr.Object.String())
+		facts = append(facts, p.Name+"="+pv.obj.String())
 	}
 	sort.Strings(facts)
 	c.facts[entityKey] = facts
 	return facts, true
+}
+
+// predValue is the (predicate, object) projection of an outgoing fact —
+// what the enrichment renderers actually consume. Collecting these via
+// the graph's visitor path avoids copying full Triples (with provenance)
+// per entity, and resolving predicate names after the visitor returns
+// keeps predicate lookups off the held read lock.
+type predValue struct {
+	pred kg.PredicateID
+	obj  kg.Value
+}
+
+// collectOutgoing appends entity id's outgoing (predicate, object) pairs
+// to buf using the copy-free visitor read path, and returns it.
+func collectOutgoing(g *kg.Graph, id kg.EntityID, buf []predValue) []predValue {
+	g.OutgoingFunc(id, func(tr kg.Triple) bool {
+		buf = append(buf, predValue{pred: tr.Predicate, obj: tr.Object})
+		return true
+	})
+	return buf
 }
 
 // Lookup serves a cached entity.

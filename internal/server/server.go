@@ -88,14 +88,26 @@ func (s *Server) entityJSON(e *kg.Entity) entityResponse {
 	for _, t := range e.Types {
 		resp.Types = append(resp.Types, g.Ontology().Name(t))
 	}
-	for _, tr := range g.Outgoing(e.ID) {
-		p := g.Predicate(tr.Predicate)
+	// Collect (predicate, object) pairs under one read-lock pass, then
+	// resolve names after the visitor returns so the render lookups don't
+	// run while the graph lock is held.
+	type predValue struct {
+		pred kg.PredicateID
+		obj  kg.Value
+	}
+	var pvs []predValue
+	g.OutgoingFunc(e.ID, func(tr kg.Triple) bool {
+		pvs = append(pvs, predValue{pred: tr.Predicate, obj: tr.Object})
+		return true
+	})
+	for _, pv := range pvs {
+		p := g.Predicate(pv.pred)
 		if p == nil {
 			continue
 		}
-		obj := tr.Object.String()
-		if tr.Object.IsEntity() {
-			if oe := g.Entity(tr.Object.Entity); oe != nil {
+		obj := pv.obj.String()
+		if pv.obj.IsEntity() {
+			if oe := g.Entity(pv.obj.Entity); oe != nil {
 				obj = oe.Name
 			}
 		}

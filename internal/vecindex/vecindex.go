@@ -86,12 +86,17 @@ type Index interface {
 }
 
 // FlatIndex is an exact brute-force index. Safe for concurrent use.
+// Vectors are stored in one contiguous float32 slab (row i occupies
+// data[i*dim:(i+1)*dim]) so a full scan is sequential memory traversal
+// with an unrolled dot-product kernel, not a pointer chase through
+// per-vector allocations.
 type FlatIndex struct {
-	mu   sync.RWMutex
-	dim  int
-	ids  []uint64
-	vecs []Vector
-	pos  map[uint64]int
+	mu      sync.RWMutex
+	dim     int
+	ids     []uint64
+	data    []float32 // len(ids)*dim, row-major
+	pos     map[uint64]int
+	version uint64 // bumped on every Add; result caches key on it
 }
 
 // NewFlat returns an empty exact index.
@@ -109,15 +114,26 @@ func (f *FlatIndex) Add(id uint64, v Vector) error {
 	if len(v) != f.dim {
 		return fmt.Errorf("vecindex: dim mismatch: got %d want %d", len(v), f.dim)
 	}
-	cp := append(Vector(nil), v...)
+	f.version++
 	if i, ok := f.pos[id]; ok {
-		f.vecs[i] = cp
+		copy(f.data[i*f.dim:(i+1)*f.dim], v)
 		return nil
 	}
 	f.pos[id] = len(f.ids)
 	f.ids = append(f.ids, id)
-	f.vecs = append(f.vecs, cp)
+	f.data = append(f.data, v...)
 	return nil
+}
+
+// Version returns a counter that changes whenever the index contents
+// change. Two calls returning the same value bracket a window in which
+// every Search result was reproducible, so derived result caches can use
+// it as their staleness watermark (the same contract kg.Graph.LastSeq
+// provides for graph-derived snapshots).
+func (f *FlatIndex) Version() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.version
 }
 
 // Get returns the stored vector for id.
@@ -128,21 +144,45 @@ func (f *FlatIndex) Get(id uint64) (Vector, bool) {
 	if !ok {
 		return nil, false
 	}
-	return append(Vector(nil), f.vecs[i]...), true
+	return append(Vector(nil), f.data[i*f.dim:(i+1)*f.dim]...), true
 }
 
 // Search implements Index.
 func (f *FlatIndex) Search(q Vector, k int) []Result {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return topK(q, f.ids, f.vecs, k, nil)
+	return f.SearchFiltered(q, k, nil)
 }
 
 // SearchFiltered is Search restricted to IDs accepted by keep (nil = all).
 func (f *FlatIndex) SearchFiltered(q Vector, k int, keep func(uint64) bool) []Result {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return topK(q, f.ids, f.vecs, k, keep)
+	if len(q) != f.dim || f.dim == 0 {
+		return nil
+	}
+	dim := f.dim
+	return topKRows(len(f.ids), k,
+		func(i int) uint64 { return f.ids[i] },
+		func(i int) float32 { return dotContig(q, f.data[i*dim:(i+1)*dim]) },
+		func(i int) bool { return keep == nil || keep(f.ids[i]) })
+}
+
+// dotContig is the scan kernel: an inner product unrolled into four
+// independent accumulators so the compiler can keep them in registers and
+// the loop is not serialized on one addition chain. b must have len(a).
+func dotContig(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	b = b[:len(a)] // hoist the bounds check out of the loop
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Len implements Index.
@@ -159,28 +199,42 @@ func (f *FlatIndex) Dim() int {
 	return f.dim
 }
 
+// topK selects the k best rows of a slice-of-vectors layout (the IVF
+// candidate path). Rows whose dimensionality does not match q are skipped.
 func topK(q Vector, ids []uint64, vecs []Vector, k int, keep func(uint64) bool) []Result {
+	return topKRows(len(ids), k,
+		func(i int) uint64 { return ids[i] },
+		func(i int) float32 { return Dot(q, vecs[i]) },
+		func(i int) bool {
+			return (keep == nil || keep(ids[i])) && len(vecs[i]) == len(q)
+		})
+}
+
+// topKRows is the shared top-k selection kernel: it scans n rows through
+// the idAt/scoreAt accessors (keepRow gates each row), maintaining the
+// best k with an insertion pass, and returns them sorted by descending
+// score with ascending-ID tie-break. Both index layouts (flat slab and
+// IVF candidate lists) rank through this one loop so their tie-break and
+// selection semantics cannot diverge.
+func topKRows(n, k int, idAt func(int) uint64, scoreAt func(int) float32, keepRow func(int) bool) []Result {
 	if k <= 0 {
 		return nil
 	}
 	out := make([]Result, 0, k+1)
-	for i, id := range ids {
-		if keep != nil && !keep(id) {
+	for i := 0; i < n; i++ {
+		if !keepRow(i) {
 			continue
 		}
-		if len(vecs[i]) != len(q) {
-			continue
-		}
-		s := Dot(q, vecs[i])
+		s := scoreAt(i)
 		if len(out) < k {
-			out = append(out, Result{ID: id, Score: s})
+			out = append(out, Result{ID: idAt(i), Score: s})
 			if len(out) == k {
 				sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
 			}
 			continue
 		}
 		if s > out[k-1].Score {
-			out[k-1] = Result{ID: id, Score: s}
+			out[k-1] = Result{ID: idAt(i), Score: s}
 			// Restore order with an insertion pass (k is small).
 			for j := k - 1; j > 0 && out[j].Score > out[j-1].Score; j-- {
 				out[j], out[j-1] = out[j-1], out[j]

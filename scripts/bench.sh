@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the E1–E12 benchmark suite (plus the micro-benchmarks)
+# with -benchmem and emit a machine-readable BENCH_<date>.json at the repo
+# root, so successive PRs have a perf trajectory to regress against.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, benchtime 1s
+#   BENCHTIME=100ms scripts/bench.sh # quicker pass
+#   BENCH_FILTER='BenchmarkE3' scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH_FILTER="${BENCH_FILTER:-.}"
+DATE="$(date +%Y-%m-%d)"
+OUT="BENCH_${DATE}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (filter=${BENCH_FILTER}, benchtime=${BENCHTIME})..." >&2
+go test -bench "$BENCH_FILTER" -benchmem -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW" >&2
+
+# Convert `go test -bench` output lines into a JSON array. A benchmark
+# line looks like:
+#   BenchmarkName/sub-8  1234  567 ns/op  89 B/op  1 allocs/op  [extra metrics]
+awk -v date="$DATE" '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")        ns = $i
+        else if ($(i+1) == "B/op")    bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+        else if ($(i+1) ~ /\//) {
+            gsub(/"/, "", $(i+1))
+            extra = extra sprintf("%s\"%s\": %s", (extra == "" ? "" : ", "), $(i+1), $i)
+        }
+    }
+    if (ns == "") next
+    if (!first) printf(",\n"); first = 0
+    printf("  {\"date\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", date, name, iters, ns)
+    if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    if (extra != "")  printf(", \"metrics\": {%s}", extra)
+    printf("}")
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
