@@ -132,7 +132,14 @@ func (p *Pipeline) LinkToGraph(g *kg.Graph) (int, error) {
 	}
 	p.mu.Unlock()
 
-	added := 0
+	// Register all document entities first, then assert every mention
+	// edge in one batch: the graph's batch path takes each shard lock
+	// once and grows index slices per (subject, predicate) run, instead
+	// of a lock round-trip per annotation. AssertBatch also reports the
+	// number of newly added facts, which is exactly this function's
+	// return value (duplicate mention edges from re-linked documents are
+	// skipped, as before).
+	batch := make([]kg.Triple, 0, len(results))
 	for _, r := range results {
 		docEnt, err := g.AddEntity(kg.Entity{
 			Key:   "webdoc:" + r.DocID,
@@ -140,23 +147,16 @@ func (p *Pipeline) LinkToGraph(g *kg.Graph) (int, error) {
 			Types: []kg.TypeID{docType},
 		})
 		if err != nil {
-			return added, fmt.Errorf("annotate: add doc entity %s: %w", r.DocID, err)
+			return 0, fmt.Errorf("annotate: add doc entity %s: %w", r.DocID, err)
 		}
 		for _, ann := range r.Items {
-			tr := kg.Triple{
+			batch = append(batch, kg.Triple{
 				Subject:   ann.Entity,
 				Predicate: pred,
 				Object:    kg.EntityValue(docEnt),
 				Prov:      kg.Provenance{Source: "semantic-annotation", Confidence: ann.Score},
-			}
-			isNew, err := g.AssertNew(tr)
-			if err != nil {
-				return added, err
-			}
-			if isNew {
-				added++
-			}
+			})
 		}
 	}
-	return added, nil
+	return g.AssertBatch(batch)
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"saga/internal/kg"
 )
@@ -37,16 +38,39 @@ type Dataset struct {
 
 // NewDataset builds a dataset from triples, keeping only entity-valued
 // facts (literals cannot participate in translational embeddings).
+//
+// The input is ordered by SPO identity before interning, so the dense
+// entity/relation index assignment — and therefore every seeded training
+// run downstream — is a function of the triple *set*, not of the order
+// the caller happened to produce. View.Triples and TriplesSnapshot
+// surface triples in map-iteration order, which Go randomizes per
+// process; without the sort, identically seeded experiments drift from
+// run to run.
 func NewDataset(triples []kg.Triple) *Dataset {
 	d := &Dataset{
 		entIdx: make(map[kg.EntityID]int32),
 		relIdx: make(map[kg.PredicateID]int32),
 		known:  make(map[[3]int32]struct{}),
 	}
+	ordered := make([]kg.Triple, 0, len(triples))
 	for _, t := range triples {
-		if !t.Object.IsEntity() {
-			continue
+		if t.Object.IsEntity() {
+			ordered = append(ordered, t)
 		}
+	}
+	// Precompute identity keys once instead of rebuilding both inside the
+	// comparator O(n log n) times (the AllTriples pattern).
+	keys := make([]kg.TripleKey, len(ordered))
+	order := make([]int32, len(ordered))
+	for i := range ordered {
+		keys[i] = ordered[i].IdentityKey()
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return keys[order[i]].Compare(keys[order[j]]) < 0
+	})
+	for _, oi := range order {
+		t := ordered[oi]
 		h := d.internEntity(t.Subject)
 		r := d.internRelation(t.Predicate)
 		tt := d.internEntity(t.Object.Entity)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package embedding
+
+// raceDetectorEnabled reports whether this binary was built with the Go
+// race detector; see race_enabled.go.
+const raceDetectorEnabled = false

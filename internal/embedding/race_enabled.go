@@ -1,0 +1,9 @@
+//go:build race
+
+package embedding
+
+// raceDetectorEnabled reports whether this binary was built with the Go
+// race detector. Hogwild training (see trainBucket) performs parameter
+// updates that race by design; the detector rightly flags them, so race
+// builds serialize the workers instead.
+const raceDetectorEnabled = true

@@ -95,8 +95,15 @@ func TrainInto(model Model, d *Dataset, cfg TrainConfig) error {
 // unsynchronized: gradients of shallow models are sparse, so collisions
 // are rare and Hogwild converges (this is how the large-scale systems the
 // paper cites — PBG, DGL-KE, Marius — parallelize shallow models too).
+// To the race detector those colliding updates are nevertheless real data
+// races, so race-instrumented builds serialize the workers — `go test
+// -race ./...` then checks every lock-based invariant in the repo without
+// drowning in reports from the one algorithm whose race is by design.
 func trainBucket(model Model, d *Dataset, part []int32, cfg TrainConfig, seed int64) {
 	workers := cfg.Workers
+	if raceDetectorEnabled {
+		workers = 1
+	}
 	if workers > len(part) {
 		workers = len(part)
 	}

@@ -2,6 +2,7 @@ package embedding
 
 import (
 	"math/rand"
+	"sort"
 
 	"saga/internal/graphengine"
 	"saga/internal/kg"
@@ -54,14 +55,24 @@ func TrainWalkEmbeddings(e *graphengine.Engine, entities []kg.EntityID, cfg Walk
 	// consistent graph state, and the per-source staleness check (a lock
 	// acquisition per RandomWalks call) disappears from the training loop.
 	snap := e.Snapshot()
+	var order []kg.EntityID
 	for _, src := range entities {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(src)*0x9E3779B9))
 		walks := snap.RandomWalks(src, cfg.WalksPerNode, cfg.WalkLength, rng)
 		co := graphengine.CoOccurrence(walks)
+		// Accumulate co-occurrers in sorted order: float32 addition is
+		// order-sensitive, and summing in map-iteration order (randomized
+		// per process) would make identically seeded runs drift in the
+		// low bits.
+		order = order[:0]
+		for other := range co {
+			order = append(order, other)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 		vec := make(vecindex.Vector, cfg.Dim)
-		for other, count := range co {
+		for _, other := range order {
 			feat := featureVector(other, cfg.Dim, cfg.Seed)
-			w := float32(count)
+			w := float32(co[other])
 			for i := range vec {
 				vec[i] += w * feat[i]
 			}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"saga/internal/embedding"
 	"saga/internal/kg"
@@ -22,8 +23,24 @@ import (
 	"saga/internal/vecindex"
 )
 
+// walkEmbeddings bundles the traversal-based related-entity vectors with
+// their kNN index so both are installed and read as one unit: a reader
+// that loads the pointer can never observe vectors from one installation
+// paired with the index of another. gen totally orders installations
+// (the model-embedding fallback is generation 0), letting the result
+// cache tell a laggard request on a superseded installation apart from
+// the first request on a fresh one.
+type walkEmbeddings struct {
+	vecs map[kg.EntityID]vecindex.Vector
+	idx  *vecindex.FlatIndex
+	gen  uint64
+}
+
 // Service serves one trained embedding model plus optional related-entity
-// walk embeddings over a graph.
+// walk embeddings over a graph. Configuration installed after
+// construction (walk embeddings, verification threshold) is published
+// through atomic pointers, so SetWalkEmbeddings/SetVerifyThreshold are
+// safe to call while RelatedEntities/VerifyFact serve traffic.
 type Service struct {
 	graph   *kg.Graph
 	dataset *embedding.Dataset
@@ -32,25 +49,29 @@ type Service struct {
 	// entIndex holds model entity vectors keyed by graph entity ID.
 	entIndex *vecindex.FlatIndex
 
-	// walkVecs are the traversal-based related-entity embeddings; walkIndex
-	// is their kNN index. Optional.
-	walkVecs  map[kg.EntityID]vecindex.Vector
-	walkIndex *vecindex.FlatIndex
+	// walk holds the optional traversal-based related-entity embeddings,
+	// installed atomically (nil until SetWalkEmbeddings); walkMu orders
+	// installations so the generation a reader observes always matches
+	// the latest published pointer. Readers never take the mutex.
+	walk    atomic.Pointer[walkEmbeddings]
+	walkMu  sync.Mutex
+	walkGen uint64
 
-	// verifyThreshold classifies triples in VerifyFact.
-	verifyThreshold float64
-	thresholdSet    bool
+	// verifyThreshold classifies triples in VerifyFact; nil until
+	// calibrated via SetVerifyThreshold.
+	verifyThreshold atomic.Pointer[float64]
 
 	// relCache memoizes RelatedEntities results per (entity, k). Related-
 	// entity queries are repetitive under production traffic (hot entities
 	// dominate), and the answer is a pure function of the backing vector
 	// index, so entries are valid exactly as long as the index the result
-	// was computed from is unchanged: relIdx/relVersion record that
-	// watermark and a mismatch drops the whole cache (paper §3.2:
-	// "precompute ... and cache the results in a low-latency key-value
-	// store").
+	// was computed from is unchanged: relGen/relIdx/relVersion record that
+	// epoch (walk installation generation, index pointer, index version)
+	// and a mismatch drops the whole cache (paper §3.2: "precompute ...
+	// and cache the results in a low-latency key-value store").
 	relMu      sync.RWMutex
 	relCache   map[relCacheKey][]ScoredEntity
+	relGen     uint64
 	relIdx     *vecindex.FlatIndex
 	relVersion uint64
 }
@@ -81,7 +102,11 @@ func New(g *kg.Graph, model embedding.Model, dataset *embedding.Dataset) (*Servi
 	return s, nil
 }
 
-// SetWalkEmbeddings installs traversal-based related-entity vectors.
+// SetWalkEmbeddings installs traversal-based related-entity vectors. The
+// index is built first and the (vectors, index) pair is published with a
+// single atomic store, so concurrent RelatedEntities callers see either
+// the previous installation or the complete new one. The caller must not
+// mutate vecs after handing it over.
 func (s *Service) SetWalkEmbeddings(vecs map[kg.EntityID]vecindex.Vector) error {
 	idx := vecindex.NewFlat()
 	for id, v := range vecs {
@@ -89,15 +114,21 @@ func (s *Service) SetWalkEmbeddings(vecs map[kg.EntityID]vecindex.Vector) error 
 			return err
 		}
 	}
-	s.walkVecs = vecs
-	s.walkIndex = idx
+	// Draw the generation and publish under one lock: two concurrent
+	// installers must publish in generation order, or the later-drawn
+	// generation could be overwritten by the earlier one and silently
+	// lost.
+	s.walkMu.Lock()
+	s.walkGen++
+	s.walk.Store(&walkEmbeddings{vecs: vecs, idx: idx, gen: s.walkGen})
+	s.walkMu.Unlock()
 	return nil
 }
 
 // SetVerifyThreshold installs a calibrated fact-verification threshold.
+// Safe to call while VerifyFact serves traffic.
 func (s *Service) SetVerifyThreshold(thr float64) {
-	s.verifyThreshold = thr
-	s.thresholdSet = true
+	s.verifyThreshold.Store(&thr)
 }
 
 // EntityEmbedding returns the model embedding of a graph entity.
@@ -166,7 +197,8 @@ type Verification struct {
 // VerifyFact scores a candidate triple and classifies it against the
 // calibrated threshold — the Fig 2 fact-verification application.
 func (s *Service) VerifyFact(subject kg.EntityID, predicate kg.PredicateID, object kg.EntityID) (Verification, error) {
-	if !s.thresholdSet {
+	thr := s.verifyThreshold.Load()
+	if thr == nil {
 		return Verification{}, errors.New("embedserve: verification threshold not calibrated; call SetVerifyThreshold")
 	}
 	h, ok := s.dataset.EntityIndex(subject)
@@ -182,7 +214,7 @@ func (s *Service) VerifyFact(subject kg.EntityID, predicate kg.PredicateID, obje
 		return Verification{}, fmt.Errorf("embedserve: object %v not in embedding space", object)
 	}
 	score := s.model.Score(h, r, t)
-	return Verification{Plausible: score >= s.verifyThreshold, Score: score, Threshold: s.verifyThreshold}, nil
+	return Verification{Plausible: score >= *thr, Score: score, Threshold: *thr}, nil
 }
 
 // ScoredEntity pairs a graph entity with a similarity score.
@@ -194,16 +226,24 @@ type ScoredEntity struct {
 // RelatedEntities returns the k entities most related to id — the Fig 2
 // related-entities application. It prefers the traversal-based walk
 // embeddings when installed (the paper's specialized related-entity path)
-// and falls back to model-embedding kNN.
+// and falls back to model-embedding kNN ranked by cosine similarity, so
+// the fallback's scores agree with Similarity instead of mixing a
+// normalized query with unnormalized stored vectors.
 func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error) {
-	idx := s.walkIndex
-	if idx == nil {
-		idx = s.entIndex
+	// Load the walk installation once and use it consistently below: a
+	// concurrent SetWalkEmbeddings must not swap the index out from under
+	// the vector lookup.
+	walk := s.walk.Load()
+	idx := s.entIndex
+	var gen uint64 // model-embedding fallback = generation 0
+	if walk != nil {
+		idx = walk.idx
+		gen = walk.gen
 	}
 	ver := idx.Version()
 	key := relCacheKey{id: id, k: k}
 	s.relMu.RLock()
-	if s.relIdx == idx && s.relVersion == ver {
+	if s.relGen == gen && s.relIdx == idx && s.relVersion == ver {
 		if res, ok := s.relCache[key]; ok {
 			s.relMu.RUnlock()
 			return append([]ScoredEntity(nil), res...), nil
@@ -212,40 +252,44 @@ func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error)
 	s.relMu.RUnlock()
 
 	var out []ScoredEntity
-	if s.walkIndex != nil {
-		v, ok := s.walkVecs[id]
+	if walk != nil {
+		v, ok := walk.vecs[id]
 		if !ok {
 			return nil, fmt.Errorf("embedserve: entity %v has no walk embedding", id)
 		}
-		res := s.walkIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+		// Walk vectors are unit-normalized at training time, so inner
+		// product already equals cosine here.
+		res := walk.idx.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
 		out = toScored(res, k)
 	} else {
 		v, ok := s.entIndex.Get(uint64(id))
 		if !ok {
 			return nil, fmt.Errorf("embedserve: entity %v not in embedding space", id)
 		}
-		vecindex.Normalize(v)
-		res := s.entIndex.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+		res := s.entIndex.SearchCosineFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
 		out = toScored(res, k)
 	}
 
 	s.relMu.Lock()
 	switch {
-	case s.relIdx == idx && s.relVersion == ver:
+	case s.relGen == gen && s.relIdx == idx && s.relVersion == ver:
 		if len(s.relCache) >= relCacheMax {
 			s.relCache = make(map[relCacheKey][]ScoredEntity)
 		}
 		s.relCache[key] = out
-	case s.relIdx != idx || s.relVersion < ver:
-		// Our epoch is newer than the resident cache: replace it.
+	case s.relIdx == nil || s.relGen < gen || (s.relGen == gen && s.relIdx == idx && s.relVersion < ver):
+		// Virgin cache, or our epoch is strictly newer than the resident
+		// one (a later walk installation, or a later version of the same
+		// index): install/replace.
 		s.relCache = map[relCacheKey][]ScoredEntity{key: out}
+		s.relGen = gen
 		s.relIdx = idx
 		s.relVersion = ver
 	default:
-		// The resident cache was built from a newer index version than
-		// the one we read before searching; installing our (possibly
-		// stale) result would wipe fresh entries for a version no future
-		// reader matches. Drop it.
+		// The resident cache is from a newer epoch — a laggard request
+		// computed against a superseded installation or index version
+		// must not wipe fresh entries no future reader would match.
+		// Drop our result.
 	}
 	s.relMu.Unlock()
 	// Return a copy: callers may re-sort or truncate their result.
@@ -347,7 +391,10 @@ func decodeVector(data []byte) (vecindex.Vector, error) {
 		return nil, errors.New("embedserve: cached vector too short")
 	}
 	n := binary.LittleEndian.Uint32(data[0:4])
-	if len(data) != int(4+4*n) {
+	// Compare in uint64: 4+4*n overflows uint32 for a corrupt header
+	// (n ≥ 2^30), which could otherwise wrap to a small value, pass an
+	// int-width check on 32-bit platforms, or drive a huge allocation.
+	if uint64(len(data)-4) != 4*uint64(n) {
 		return nil, fmt.Errorf("embedserve: cached vector length mismatch: header %d, payload %d bytes", n, len(data)-4)
 	}
 	v := make(vecindex.Vector, n)

@@ -1,0 +1,79 @@
+package graphengine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"saga/internal/kg"
+)
+
+// benchGraph builds a fixed random entity graph for snapshot benchmarks.
+func benchGraph(b *testing.B, pool, edges int) (*kg.Graph, []kg.EntityID, kg.PredicateID) {
+	b.Helper()
+	g := kg.NewGraphWithShards(8)
+	p, err := g.AddPredicate(kg.Predicate{Name: "rel"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]kg.EntityID, pool)
+	for i := range ids {
+		id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]kg.Triple, 0, edges)
+	for i := 0; i < edges; i++ {
+		batch = append(batch, kg.Triple{
+			Subject:   ids[rng.Intn(pool)],
+			Predicate: p,
+			Object:    kg.EntityValue(ids[rng.Intn(pool)]),
+		})
+	}
+	if _, err := g.AssertBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	return g, ids, p
+}
+
+// BenchmarkSnapshotDelta measures bringing a CSR adjacency snapshot up to
+// date after a mutation delta of the named fraction of the edge count:
+// the incremental path (affected rows recomputed, untouched row ranges
+// bulk-copied) against the from-scratch rebuild that every mutation cost
+// before incremental maintenance. Both paths run against the same fixed
+// post-delta graph state, so the ratio is a pure algorithm comparison.
+func BenchmarkSnapshotDelta(b *testing.B) {
+	const pool, edges = 4000, 40000
+	for _, deltaPct := range []int{1, 5} {
+		g, ids, p := benchGraph(b, pool, edges)
+		prev := buildAdjacencySnapshot(g)
+		rng := rand.New(rand.NewSource(11))
+		n := prev.NumEdges() * deltaPct / 100
+		for j := 0; j < n; j++ {
+			tr := kg.Triple{Subject: ids[rng.Intn(pool)], Predicate: p, Object: kg.EntityValue(ids[rng.Intn(pool)])}
+			if rng.Intn(4) == 0 {
+				g.Retract(tr)
+			} else {
+				_ = g.Assert(tr)
+			}
+		}
+		b.Run(fmt.Sprintf("delta=%d%%/incremental", deltaPct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				next := applyAdjacencyDelta(prev, g.MutationsSince(prev.Seq()))
+				if next.Seq() != g.LastSeq() {
+					b.Fatal("stale delta apply")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("delta=%d%%/rebuild", deltaPct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s := buildAdjacencySnapshot(g); s.Seq() != g.LastSeq() {
+					b.Fatal("stale rebuild")
+				}
+			}
+		})
+	}
+}

@@ -2,8 +2,11 @@ package kg
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Entity is the metadata record for a node in the graph. Facts about the
@@ -47,9 +50,60 @@ type Predicate struct {
 	Functional bool
 }
 
+// graphShard holds the triple indexes and mutation sub-log for the
+// subjects whose ID hashes to the shard. Everything inside is guarded by
+// the shard's own lock, so writers touching different shards never
+// contend. The trailing pad keeps two shards' mutexes off one cache line.
+type graphShard struct {
+	mu sync.RWMutex
+
+	spo map[EntityID]map[PredicateID][]Triple
+	pos map[PredicateID]map[ValueKey][]EntityID
+	// osp maps object entity -> triples whose *subject* lives in this
+	// shard; incoming-edge reads merge the entry across all shards.
+	osp map[EntityID][]Triple
+
+	predCount  map[PredicateID]int
+	tripleKeys map[TripleKey]struct{}
+
+	// log holds this shard's slice of the global mutation feed. Sequence
+	// numbers are drawn from Graph.seq while the shard write lock is held,
+	// so within one shard the log is strictly ascending in Seq.
+	log []Mutation
+
+	_ [40]byte // pad to 128 bytes
+}
+
+func (sh *graphShard) init() {
+	sh.spo = make(map[EntityID]map[PredicateID][]Triple)
+	sh.pos = make(map[PredicateID]map[ValueKey][]EntityID)
+	sh.osp = make(map[EntityID][]Triple)
+	sh.predCount = make(map[PredicateID]int)
+	sh.tripleKeys = make(map[TripleKey]struct{})
+}
+
 // Graph is an in-memory triple store with entity/predicate dictionaries,
-// SPO/POS/OSP indexes, and a mutation log. It is safe for concurrent use;
-// reads take a shared lock.
+// SPO/POS/OSP indexes, and a mutation log. It is safe for concurrent use.
+//
+// # Sharded write path
+//
+// The triple indexes are partitioned into S shards (S a power of two,
+// default GOMAXPROCS rounded up) by subject ID, each with its own
+// RWMutex, so concurrent Assert/Retract on different subjects scale with
+// cores instead of serializing on one graph lock. Reads bound to a
+// subject (Facts, Outgoing, HasFact) touch exactly one shard. Reads that
+// span subjects either visit shards one at a time (Incoming, SubjectsWith,
+// NumTriples — each shard internally consistent, the union as fresh as
+// the moment its shard was visited) or, when they carry watermark
+// semantics (TriplesSnapshot, MutationsSince, Triples, AllTriples),
+// hold every shard's read lock at once for a single
+// consistent cut. Shard locks are always acquired in index order and
+// writers hold at most one shard lock, so the two patterns cannot
+// deadlock.
+//
+// The entity/predicate dictionaries live outside the shards behind their
+// own lock; assert validation reads only atomically published dictionary
+// lengths, keeping dictionary readers off the write hot path.
 //
 // # Index layout and key encoding
 //
@@ -66,50 +120,109 @@ type Predicate struct {
 //
 // # Mutation log and watermark semantics
 //
-// Every successful Assert/Retract appends a Mutation with a sequence
-// number that increases by exactly 1; nextSeq is the watermark of the
-// latest applied mutation. LastSeq()/TriplesSnapshot() expose it so
-// derived structures (materialized views, adjacency snapshots) can record
-// the watermark they were built at and later decide staleness with a
-// single comparison: a derived structure at watermark w reflects exactly
-// the first w mutations. Registering entities or predicates does not bump
-// the watermark — a new entity is observable in derived edge structures
-// only once a triple mentions it, and asserting that triple bumps the
-// watermark.
+// Every successful Assert/Retract draws a sequence number from one global
+// atomic counter that increases by exactly 1 per applied mutation; the
+// counter is only ever advanced while the mutating shard's write lock is
+// held, so holding every shard's read lock freezes it. LastSeq()/
+// TriplesSnapshot() expose the counter so derived structures
+// (materialized views, adjacency snapshots) can record the watermark they
+// were built at and later decide staleness with a single comparison: a
+// derived structure at watermark w reflects exactly the first w
+// mutations. The log itself is stored as per-shard sub-logs;
+// MutationsSince merges them by sequence number under the all-shard read
+// lock, so consumers still see one totally ordered change feed.
+// Registering entities or predicates does not bump the watermark — a new
+// entity is observable in derived edge structures only once a triple
+// mentions it, and asserting that triple bumps the watermark.
 type Graph struct {
-	mu sync.RWMutex
-
 	ontology *Ontology
 
+	// dictMu guards the entity/predicate dictionaries. entLen/predLen
+	// mirror len(entities)/len(predicates) and are published atomically so
+	// assert validation never touches the dictionary lock.
+	dictMu     sync.RWMutex
 	entities   []*Entity // EntityID -> *Entity (index 0 unused)
 	entByKey   map[string]EntityID
 	predicates []*Predicate // PredicateID -> *Predicate (index 0 unused)
 	predByName map[string]PredicateID
+	entLen     atomic.Int64
+	predLen    atomic.Int64
 
-	spo map[EntityID]map[PredicateID][]Triple
-	pos map[PredicateID]map[ValueKey][]EntityID
-	osp map[EntityID][]Triple
+	// seq is the global mutation watermark; advanced only under a shard
+	// write lock.
+	seq atomic.Uint64
 
-	predCount map[PredicateID]int // triples per predicate, for frequency filtering
-
-	log        []Mutation
-	nextSeq    uint64
-	tripleKeys map[TripleKey]struct{} // SPO identity set for dedup
+	shardMask uint32
+	shards    []graphShard
 }
 
-// NewGraph returns an empty graph with a fresh ontology.
+// defaultShardCount returns GOMAXPROCS rounded up to a power of two,
+// clamped to [1, 256].
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s > 256 {
+		s = 256
+	}
+	return s
+}
+
+// NewGraph returns an empty graph with a fresh ontology and the default
+// shard count (GOMAXPROCS rounded up to a power of two).
 func NewGraph() *Graph {
-	return &Graph{
+	return NewGraphWithShards(defaultShardCount())
+}
+
+// NewGraphWithShards returns an empty graph with the given number of
+// write shards, rounded up to a power of two and clamped to [1, 256].
+// Shard count 1 degenerates to the classic single-lock graph; benchmarks
+// use it as the scaling baseline.
+func NewGraphWithShards(n int) *Graph {
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s > 256 {
+		s = 256
+	}
+	g := &Graph{
 		ontology:   NewOntology(),
 		entities:   []*Entity{nil},
 		entByKey:   make(map[string]EntityID),
 		predicates: []*Predicate{nil},
 		predByName: make(map[string]PredicateID),
-		spo:        make(map[EntityID]map[PredicateID][]Triple),
-		pos:        make(map[PredicateID]map[ValueKey][]EntityID),
-		osp:        make(map[EntityID][]Triple),
-		predCount:  make(map[PredicateID]int),
-		tripleKeys: make(map[TripleKey]struct{}),
+		shardMask:  uint32(s - 1),
+		shards:     make([]graphShard, s),
+	}
+	g.entLen.Store(1)
+	g.predLen.Store(1)
+	for i := range g.shards {
+		g.shards[i].init()
+	}
+	return g
+}
+
+// NumShards returns the number of write shards.
+func (g *Graph) NumShards() int { return len(g.shards) }
+
+func (g *Graph) shardIndex(subj EntityID) uint32 { return uint32(subj) & g.shardMask }
+
+func (g *Graph) shard(subj EntityID) *graphShard { return &g.shards[g.shardIndex(subj)] }
+
+// rlockAll acquires every shard's read lock in index order, freezing the
+// watermark and the whole triple state for a consistent cut.
+func (g *Graph) rlockAll() {
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+	}
+}
+
+func (g *Graph) runlockAll() {
+	for i := range g.shards {
+		g.shards[i].mu.RUnlock()
 	}
 }
 
@@ -122,8 +235,8 @@ func (g *Graph) AddEntity(e Entity) (EntityID, error) {
 	if e.Key == "" {
 		return NoEntity, fmt.Errorf("kg: entity key must be non-empty")
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
 	if id, ok := g.entByKey[e.Key]; ok {
 		return id, nil
 	}
@@ -132,24 +245,30 @@ func (g *Graph) AddEntity(e Entity) (EntityID, error) {
 	stored := e
 	g.entities = append(g.entities, &stored)
 	g.entByKey[e.Key] = id
+	g.entLen.Store(int64(len(g.entities)))
 	return id, nil
 }
 
-// Entity returns the entity record for id, or nil if unknown. The returned
-// pointer must be treated as read-only.
+// Entity returns the entity record for id, or nil if unknown. The
+// returned pointer must be treated as read-only and immutable: record
+// updates (SetPopularity) replace the stored pointer with a fresh copy
+// instead of mutating the record in place, so lock-free readers holding a
+// previously returned pointer never observe a torn write — they simply
+// keep reading the version they fetched.
 func (g *Graph) Entity(id EntityID) *Entity {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.dictMu.RLock()
+	defer g.dictMu.RUnlock()
 	if int(id) >= len(g.entities) {
 		return nil
 	}
 	return g.entities[id]
 }
 
-// EntityByKey resolves an external key to an entity record.
+// EntityByKey resolves an external key to an entity record. The returned
+// pointer carries the same read-only contract as Entity.
 func (g *Graph) EntityByKey(key string) (*Entity, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.dictMu.RLock()
+	defer g.dictMu.RUnlock()
 	id, ok := g.entByKey[key]
 	if !ok {
 		return nil, false
@@ -157,13 +276,41 @@ func (g *Graph) EntityByKey(key string) (*Entity, bool) {
 	return g.entities[id], true
 }
 
-// SetPopularity updates an entity's popularity prior.
+// SetPopularity updates an entity's popularity prior. The stored record
+// is replaced copy-on-write: pointers handed out before the update keep
+// their old (fully consistent) view, which makes the update safe against
+// readers that inspect entity records outside the graph lock.
 func (g *Graph) SetPopularity(id EntityID, pop float64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
 	if int(id) < len(g.entities) && g.entities[id] != nil {
-		g.entities[id].Popularity = pop
+		cp := *g.entities[id]
+		cp.Popularity = pop
+		g.entities[id] = &cp
 	}
+}
+
+// UpdateEntity applies fn to a private copy of the entity record (with
+// Aliases and Types cloned, so fn may rewrite them freely) and replaces
+// the stored record with the result — the copy-on-write counterpart of
+// mutating the pointer Entity() hands out, which is forbidden because
+// lock-free readers may hold it. ID and Key are identity and are restored
+// after fn runs; to re-key an entity, add a new one. Returns false if id
+// is unknown. fn must not retain the pointer or call back into the graph.
+func (g *Graph) UpdateEntity(id EntityID, fn func(*Entity)) bool {
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
+	if int(id) >= len(g.entities) || g.entities[id] == nil {
+		return false
+	}
+	cp := *g.entities[id]
+	cp.Aliases = slices.Clone(cp.Aliases)
+	cp.Types = slices.Clone(cp.Types)
+	fn(&cp)
+	cp.ID = id
+	cp.Key = g.entities[id].Key
+	g.entities[id] = &cp
+	return true
 }
 
 // AddPredicate registers a predicate, returning the existing ID if the name
@@ -172,8 +319,8 @@ func (g *Graph) AddPredicate(p Predicate) (PredicateID, error) {
 	if p.Name == "" {
 		return NoPredicate, fmt.Errorf("kg: predicate name must be non-empty")
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
 	if id, ok := g.predByName[p.Name]; ok {
 		return id, nil
 	}
@@ -182,13 +329,14 @@ func (g *Graph) AddPredicate(p Predicate) (PredicateID, error) {
 	stored := p
 	g.predicates = append(g.predicates, &stored)
 	g.predByName[p.Name] = id
+	g.predLen.Store(int64(len(g.predicates)))
 	return id, nil
 }
 
 // Predicate returns the predicate record for id, or nil if unknown.
 func (g *Graph) Predicate(id PredicateID) *Predicate {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.dictMu.RLock()
+	defer g.dictMu.RUnlock()
 	if int(id) >= len(g.predicates) {
 		return nil
 	}
@@ -197,8 +345,8 @@ func (g *Graph) Predicate(id PredicateID) *Predicate {
 
 // PredicateByName resolves a predicate name.
 func (g *Graph) PredicateByName(name string) (*Predicate, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.dictMu.RLock()
+	defer g.dictMu.RUnlock()
 	id, ok := g.predByName[name]
 	if !ok {
 		return nil, false
@@ -206,13 +354,31 @@ func (g *Graph) PredicateByName(name string) (*Predicate, bool) {
 	return g.predicates[id], true
 }
 
+// validate checks a triple's references against the atomically published
+// dictionary lengths. IDs are assigned densely and only ever grow, so an
+// ID below a length observed now is guaranteed registered; the check
+// never takes a lock.
+func (g *Graph) validate(t Triple) error {
+	if int64(t.Subject) >= g.entLen.Load() || t.Subject == NoEntity {
+		return fmt.Errorf("kg: assert: unknown subject %v", t.Subject)
+	}
+	if int64(t.Predicate) >= g.predLen.Load() || t.Predicate == NoPredicate {
+		return fmt.Errorf("kg: assert: unknown predicate %v", t.Predicate)
+	}
+	if t.Object.Kind == 0 {
+		return fmt.Errorf("kg: assert: invalid object value")
+	}
+	if t.Object.IsEntity() && (int64(t.Object.Entity) >= g.entLen.Load() || t.Object.Entity == NoEntity) {
+		return fmt.Errorf("kg: assert: unknown object entity %v", t.Object.Entity)
+	}
+	return nil
+}
+
 // Assert adds a triple to the graph and appends an OpAssert mutation.
 // Asserting a fact with identical SPO identity is a no-op (provenance of
 // the first assertion wins; use Retract+Assert to replace).
 func (g *Graph) Assert(t Triple) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	_, err := g.assertLocked(t)
+	_, err := g.AssertNew(t)
 	return err
 }
 
@@ -221,111 +387,215 @@ func (g *Graph) Assert(t Triple) error {
 // It replaces the NumTriples-before/after pattern callers used to detect
 // duplicate asserts, which cost two extra lock round-trips per triple.
 func (g *Graph) AssertNew(t Triple) (bool, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.assertLocked(t)
+	if err := g.validate(t); err != nil {
+		return false, err
+	}
+	sh := g.shard(t.Subject)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return g.assertShardLocked(sh, t, t.IdentityKey()), nil
 }
 
-// AssertAll adds a batch of triples under a single lock acquisition.
-func (g *Graph) AssertAll(ts []Triple) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for _, t := range ts {
-		if _, err := g.assertLocked(t); err != nil {
-			return err
-		}
+// assertShardLocked applies one pre-validated triple under sh's write
+// lock, returning whether it was newly added.
+func (g *Graph) assertShardLocked(sh *graphShard, t Triple, key TripleKey) bool {
+	if _, dup := sh.tripleKeys[key]; dup {
+		return false
 	}
-	return nil
-}
+	sh.tripleKeys[key] = struct{}{}
 
-func (g *Graph) assertLocked(t Triple) (added bool, err error) {
-	if int(t.Subject) >= len(g.entities) || t.Subject == NoEntity {
-		return false, fmt.Errorf("kg: assert: unknown subject %v", t.Subject)
-	}
-	if int(t.Predicate) >= len(g.predicates) || t.Predicate == NoPredicate {
-		return false, fmt.Errorf("kg: assert: unknown predicate %v", t.Predicate)
-	}
-	if t.Object.Kind == 0 {
-		return false, fmt.Errorf("kg: assert: invalid object value")
-	}
-	if t.Object.IsEntity() && (int(t.Object.Entity) >= len(g.entities) || t.Object.Entity == NoEntity) {
-		return false, fmt.Errorf("kg: assert: unknown object entity %v", t.Object.Entity)
-	}
-	key := t.IdentityKey()
-	if _, dup := g.tripleKeys[key]; dup {
-		return false, nil
-	}
-	g.tripleKeys[key] = struct{}{}
-
-	bySubj := g.spo[t.Subject]
+	bySubj := sh.spo[t.Subject]
 	if bySubj == nil {
 		bySubj = make(map[PredicateID][]Triple)
-		g.spo[t.Subject] = bySubj
+		sh.spo[t.Subject] = bySubj
 	}
 	bySubj[t.Predicate] = append(bySubj[t.Predicate], t)
 
-	byPred := g.pos[t.Predicate]
+	byPred := sh.pos[t.Predicate]
 	if byPred == nil {
 		byPred = make(map[ValueKey][]EntityID)
-		g.pos[t.Predicate] = byPred
+		sh.pos[t.Predicate] = byPred
 	}
 	byPred[key.Object] = append(byPred[key.Object], t.Subject)
 
 	if t.Object.IsEntity() {
-		g.osp[t.Object.Entity] = append(g.osp[t.Object.Entity], t)
+		sh.osp[t.Object.Entity] = append(sh.osp[t.Object.Entity], t)
 	}
-	g.predCount[t.Predicate]++
+	sh.predCount[t.Predicate]++
 
-	g.nextSeq++
-	g.log = append(g.log, Mutation{Seq: g.nextSeq, Op: OpAssert, T: t})
-	return true, nil
+	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpAssert, T: t})
+	return true
+}
+
+// AssertAll adds a batch of triples, taking each touched shard's lock
+// exactly once. Unlike looped Assert calls, the whole batch is validated
+// up front: if any triple is invalid, an error is returned and nothing is
+// applied.
+func (g *Graph) AssertAll(ts []Triple) error {
+	_, err := g.AssertBatch(ts)
+	return err
+}
+
+// AssertBatch is the batch ingestion fast path: it validates every triple
+// up front (applying nothing on error), groups the batch by shard, sorts
+// each group by (subject, predicate, object identity), and applies it
+// under a single shard lock acquisition with index slices grown once per
+// (subject, predicate) run. It returns the number of facts newly added —
+// triples whose SPO identity already existed in the graph, or that repeat
+// an identity earlier in the batch (first occurrence in input order
+// wins), are skipped.
+func (g *Graph) AssertBatch(ts []Triple) (added int, err error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	for i := range ts {
+		if err := g.validate(ts[i]); err != nil {
+			return 0, err
+		}
+	}
+	keys := make([]TripleKey, len(ts))
+	order := make([]int32, len(ts))
+	for i := range ts {
+		keys[i] = ts[i].IdentityKey()
+		order[i] = int32(i)
+	}
+	// Sort by (shard, identity key, input index): shard grouping gives one
+	// lock acquisition per shard, key ordering makes duplicates adjacent
+	// and (subject, predicate) runs contiguous, and the input-index
+	// tie-break keeps "first assertion wins" provenance semantics for
+	// in-batch duplicates.
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		sa, sb := g.shardIndex(ka.Subject), g.shardIndex(kb.Subject)
+		if sa != sb {
+			return sa < sb
+		}
+		if c := ka.Compare(kb); c != 0 {
+			return c < 0
+		}
+		return order[a] < order[b]
+	})
+	for lo := 0; lo < len(order); {
+		shIdx := g.shardIndex(keys[order[lo]].Subject)
+		hi := lo + 1
+		for hi < len(order) && g.shardIndex(keys[order[hi]].Subject) == shIdx {
+			hi++
+		}
+		added += g.assertShardBatch(&g.shards[shIdx], ts, keys, order[lo:hi])
+		lo = hi
+	}
+	return added, nil
+}
+
+// assertShardBatch applies one shard's slice of a sorted batch under a
+// single lock acquisition.
+func (g *Graph) assertShardBatch(sh *graphShard, ts []Triple, keys []TripleKey, order []int32) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// Filter duplicates first — in-batch (adjacent after sorting) and
+	// against the existing identity set — so the grow sizes below are
+	// exact. Compaction reuses order's backing array.
+	kept := order[:0]
+	for i, oi := range order {
+		k := keys[oi]
+		if i > 0 && k == keys[order[i-1]] {
+			continue
+		}
+		if _, dup := sh.tripleKeys[k]; dup {
+			continue
+		}
+		kept = append(kept, oi)
+	}
+	if len(kept) == 0 {
+		return 0
+	}
+	sh.log = slices.Grow(sh.log, len(kept))
+	for i := 0; i < len(kept); {
+		t0 := ts[kept[i]]
+		j := i + 1
+		for j < len(kept) && ts[kept[j]].Subject == t0.Subject && ts[kept[j]].Predicate == t0.Predicate {
+			j++
+		}
+		run := kept[i:j]
+		bySubj := sh.spo[t0.Subject]
+		if bySubj == nil {
+			bySubj = make(map[PredicateID][]Triple)
+			sh.spo[t0.Subject] = bySubj
+		}
+		lst := slices.Grow(bySubj[t0.Predicate], len(run))
+		for _, oi := range run {
+			t, k := ts[oi], keys[oi]
+			sh.tripleKeys[k] = struct{}{}
+			lst = append(lst, t)
+			byPred := sh.pos[t.Predicate]
+			if byPred == nil {
+				byPred = make(map[ValueKey][]EntityID)
+				sh.pos[t.Predicate] = byPred
+			}
+			byPred[k.Object] = append(byPred[k.Object], t.Subject)
+			if t.Object.IsEntity() {
+				sh.osp[t.Object.Entity] = append(sh.osp[t.Object.Entity], t)
+			}
+			sh.predCount[t.Predicate]++
+			sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpAssert, T: t})
+		}
+		bySubj[t0.Predicate] = lst
+		i = j
+	}
+	return len(kept)
 }
 
 // Retract removes the fact with the same SPO identity as t, if present,
 // and appends an OpRetract mutation. It reports whether a fact was removed.
 func (g *Graph) Retract(t Triple) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	key := t.IdentityKey()
-	if _, ok := g.tripleKeys[key]; !ok {
+	sh := g.shard(t.Subject)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.tripleKeys[key]; !ok {
 		return false
 	}
-	delete(g.tripleKeys, key)
+	delete(sh.tripleKeys, key)
 
-	if bySubj := g.spo[t.Subject]; bySubj != nil {
-		bySubj[t.Predicate] = removeTriple(bySubj[t.Predicate], t)
+	if bySubj := sh.spo[t.Subject]; bySubj != nil {
+		bySubj[t.Predicate] = removeTriple(bySubj[t.Predicate], key)
 		if len(bySubj[t.Predicate]) == 0 {
 			delete(bySubj, t.Predicate)
 		}
 		if len(bySubj) == 0 {
-			delete(g.spo, t.Subject)
+			delete(sh.spo, t.Subject)
 		}
 	}
-	if byPred := g.pos[t.Predicate]; byPred != nil {
+	if byPred := sh.pos[t.Predicate]; byPred != nil {
 		byPred[key.Object] = removeEntity(byPred[key.Object], t.Subject)
 		if len(byPred[key.Object]) == 0 {
 			delete(byPred, key.Object)
 		}
 		if len(byPred) == 0 {
-			delete(g.pos, t.Predicate)
+			delete(sh.pos, t.Predicate)
 		}
 	}
 	if t.Object.IsEntity() {
-		g.osp[t.Object.Entity] = removeTriple(g.osp[t.Object.Entity], t)
-		if len(g.osp[t.Object.Entity]) == 0 {
-			delete(g.osp, t.Object.Entity)
+		sh.osp[t.Object.Entity] = removeTriple(sh.osp[t.Object.Entity], key)
+		if len(sh.osp[t.Object.Entity]) == 0 {
+			delete(sh.osp, t.Object.Entity)
 		}
 	}
-	g.predCount[t.Predicate]--
+	sh.predCount[t.Predicate]--
 
-	g.nextSeq++
-	g.log = append(g.log, Mutation{Seq: g.nextSeq, Op: OpRetract, T: t})
+	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpRetract, T: t})
 	return true
 }
 
-func removeTriple(ts []Triple, t Triple) []Triple {
+// removeTriple deletes the triple with the given SPO identity from ts.
+// Matching goes through IdentityKey — the same identity the dedup set
+// uses — not Value.Equal: the two disagree on NaN-valued floats (equal
+// bits, unequal under ==), and an index removal that misses while the
+// identity set forgets the key would leave a phantom triple in spo.
+func removeTriple(ts []Triple, key TripleKey) []Triple {
 	for i := range ts {
-		if ts[i].Subject == t.Subject && ts[i].Predicate == t.Predicate && ts[i].Object.Equal(t.Object) {
+		if ts[i].IdentityKey() == key {
 			return append(ts[:i], ts[i+1:]...)
 		}
 	}
@@ -343,9 +613,10 @@ func removeEntity(es []EntityID, e EntityID) []EntityID {
 
 // Facts returns all triples with the given subject and predicate.
 func (g *Graph) Facts(subj EntityID, pred PredicateID) []Triple {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	bySubj := g.spo[subj]
+	sh := g.shard(subj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bySubj := sh.spo[subj]
 	if bySubj == nil {
 		return nil
 	}
@@ -355,14 +626,16 @@ func (g *Graph) Facts(subj EntityID, pred PredicateID) []Triple {
 	return out
 }
 
-// FactsFunc streams the (subj, pred) triples to fn under the read lock,
-// stopping early if fn returns false. It is the copy-free counterpart of
-// Facts for callers that filter or aggregate and would discard the slice.
-// fn must not mutate the graph or retain the Triple's interior slices.
+// FactsFunc streams the (subj, pred) triples to fn under the subject
+// shard's read lock, stopping early if fn returns false. It is the
+// copy-free counterpart of Facts for callers that filter or aggregate and
+// would discard the slice. fn must not mutate the graph or retain the
+// Triple's interior slices.
 func (g *Graph) FactsFunc(subj EntityID, pred PredicateID, fn func(Triple) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	bySubj := g.spo[subj]
+	sh := g.shard(subj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bySubj := sh.spo[subj]
 	if bySubj == nil {
 		return
 	}
@@ -376,30 +649,34 @@ func (g *Graph) FactsFunc(subj EntityID, pred PredicateID, fn func(Triple) bool)
 // HasFacts reports whether at least one (subj, pred, *) fact is asserted,
 // without materializing the fact slice.
 func (g *Graph) HasFacts(subj EntityID, pred PredicateID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	bySubj := g.spo[subj]
+	sh := g.shard(subj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bySubj := sh.spo[subj]
 	return bySubj != nil && len(bySubj[pred]) > 0
 }
 
 // Outgoing returns every triple whose subject is subj.
 func (g *Graph) Outgoing(subj EntityID) []Triple {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	sh := g.shard(subj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []Triple
-	for _, ts := range g.spo[subj] {
+	for _, ts := range sh.spo[subj] {
 		out = append(out, ts...)
 	}
 	return out
 }
 
 // OutgoingFunc streams every triple whose subject is subj to fn under the
-// read lock, stopping early if fn returns false. Iteration order across
-// predicates is unspecified. fn must not mutate the graph.
+// subject shard's read lock, stopping early if fn returns false.
+// Iteration order across predicates is unspecified. fn must not mutate
+// the graph.
 func (g *Graph) OutgoingFunc(subj EntityID, fn func(Triple) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, ts := range g.spo[subj] {
+	sh := g.shard(subj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, ts := range sh.spo[subj] {
 		for _, t := range ts {
 			if !fn(t) {
 				return
@@ -408,90 +685,114 @@ func (g *Graph) OutgoingFunc(subj EntityID, fn func(Triple) bool) {
 	}
 }
 
-// Incoming returns every triple whose object is the entity obj.
+// Incoming returns every triple whose object is the entity obj. The scan
+// visits shards one at a time; each shard's contribution is internally
+// consistent, but a concurrent writer may land between shard visits.
 func (g *Graph) Incoming(obj EntityID) []Triple {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	ts := g.osp[obj]
-	out := make([]Triple, len(ts))
-	copy(out, ts)
+	var out []Triple
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		out = append(out, sh.osp[obj]...)
+		sh.mu.RUnlock()
+	}
 	return out
 }
 
-// IncomingFunc streams every triple whose object is the entity obj to fn
-// under the read lock, stopping early if fn returns false. fn must not
-// mutate the graph.
+// IncomingFunc streams every triple whose object is the entity obj to fn,
+// stopping early if fn returns false. Shards are visited one at a time
+// (see Incoming); fn must not mutate the graph.
 func (g *Graph) IncomingFunc(obj EntityID, fn func(Triple) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, t := range g.osp[obj] {
-		if !fn(t) {
-			return
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for _, t := range sh.osp[obj] {
+			if !fn(t) {
+				sh.mu.RUnlock()
+				return
+			}
 		}
+		sh.mu.RUnlock()
 	}
 }
 
-// SubjectsWith returns the subjects that carry (pred, obj) facts.
+// SubjectsWith returns the subjects that carry (pred, obj) facts, merged
+// across shards in shard order.
 func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	byPred := g.pos[pred]
-	if byPred == nil {
-		return nil
+	key := obj.MapKey()
+	var out []EntityID
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		if byPred := sh.pos[pred]; byPred != nil {
+			out = append(out, byPred[key]...)
+		}
+		sh.mu.RUnlock()
 	}
-	es := byPred[obj.MapKey()]
-	out := make([]EntityID, len(es))
-	copy(out, es)
 	return out
 }
 
 // HasFact reports whether the exact fact (ignoring provenance) is asserted.
 func (g *Graph) HasFact(subj EntityID, pred PredicateID, obj Value) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	_, ok := g.tripleKeys[TripleKey{Subject: subj, Predicate: pred, Object: obj.MapKey()}]
+	sh := g.shard(subj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.tripleKeys[TripleKey{Subject: subj, Predicate: pred, Object: obj.MapKey()}]
 	return ok
 }
 
 // NumEntities returns the number of registered entities.
 func (g *Graph) NumEntities() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.entities) - 1
+	return int(g.entLen.Load()) - 1
 }
 
 // NumPredicates returns the number of registered predicates.
 func (g *Graph) NumPredicates() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.predicates) - 1
+	return int(g.predLen.Load()) - 1
 }
 
-// NumTriples returns the number of asserted facts.
+// NumTriples returns the number of asserted facts, summed shard by shard.
 func (g *Graph) NumTriples() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.tripleKeys)
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.tripleKeys)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PredicateFrequency returns the current number of triples using pred.
 func (g *Graph) PredicateFrequency(pred PredicateID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.predCount[pred]
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += sh.predCount[pred]
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Triples streams every asserted triple to fn in unspecified order,
-// stopping early if fn returns false. The graph lock is held for the
-// duration; fn must not mutate the graph.
+// stopping early if fn returns false. Every shard's read lock is held for
+// the duration, so the iteration is one consistent cut; fn must not
+// mutate the graph.
 func (g *Graph) Triples(fn func(Triple) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, bySubj := range g.spo {
-		for _, ts := range bySubj {
-			for _, t := range ts {
-				if !fn(t) {
-					return
+	g.rlockAll()
+	defer g.runlockAll()
+	g.triplesLocked(fn)
+}
+
+func (g *Graph) triplesLocked(fn func(Triple) bool) {
+	for i := range g.shards {
+		for _, bySubj := range g.shards[i].spo {
+			for _, ts := range bySubj {
+				for _, t := range ts {
+					if !fn(t) {
+						return
+					}
 				}
 			}
 		}
@@ -500,22 +801,15 @@ func (g *Graph) Triples(fn func(Triple) bool) {
 
 // TriplesSnapshot streams every asserted triple to fn like Triples and
 // returns the mutation watermark the iteration reflects. Both happen
-// under one read-lock acquisition, so derived structures (adjacency
-// snapshots, views) get a consistent (triples, watermark) pair: the
-// visited triples are exactly the state after the first `seq` mutations.
+// under one all-shard read-lock acquisition, so derived structures
+// (adjacency snapshots, views) get a consistent (triples, watermark)
+// pair: the visited triples are exactly the state after the first `seq`
+// mutations.
 func (g *Graph) TriplesSnapshot(fn func(Triple) bool) (seq uint64) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, bySubj := range g.spo {
-		for _, ts := range bySubj {
-			for _, t := range ts {
-				if !fn(t) {
-					return g.nextSeq
-				}
-			}
-		}
-	}
-	return g.nextSeq
+	g.rlockAll()
+	defer g.runlockAll()
+	g.triplesLocked(fn)
+	return g.seq.Load()
 }
 
 // AllTriples materializes every asserted triple in a deterministic order
@@ -523,12 +817,18 @@ func (g *Graph) TriplesSnapshot(fn func(Triple) bool) (seq uint64) {
 // precomputed once per triple instead of being rebuilt O(n log n) times
 // inside the sort comparator.
 func (g *Graph) AllTriples() []Triple {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]Triple, 0, len(g.tripleKeys))
-	subjects := make([]EntityID, 0, len(g.spo))
-	for s := range g.spo {
-		subjects = append(subjects, s)
+	g.rlockAll()
+	defer g.runlockAll()
+	total := 0
+	for i := range g.shards {
+		total += len(g.shards[i].tripleKeys)
+	}
+	out := make([]Triple, 0, total)
+	var subjects []EntityID
+	for i := range g.shards {
+		for s := range g.shards[i].spo {
+			subjects = append(subjects, s)
+		}
 	}
 	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
 	type keyed struct {
@@ -537,7 +837,7 @@ func (g *Graph) AllTriples() []Triple {
 	}
 	var scratch []keyed
 	for _, s := range subjects {
-		bySubj := g.spo[s]
+		bySubj := g.shard(s).spo[s]
 		preds := make([]PredicateID, 0, len(bySubj))
 		for p := range bySubj {
 			preds = append(preds, p)
@@ -560,8 +860,8 @@ func (g *Graph) AllTriples() []Triple {
 // Entities streams every entity record to fn, stopping early if fn
 // returns false.
 func (g *Graph) Entities(fn func(*Entity) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.dictMu.RLock()
+	defer g.dictMu.RUnlock()
 	for _, e := range g.entities[1:] {
 		if !fn(e) {
 			return
@@ -571,8 +871,8 @@ func (g *Graph) Entities(fn func(*Entity) bool) {
 
 // Predicates streams every predicate record to fn.
 func (g *Graph) Predicates(fn func(*Predicate) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.dictMu.RLock()
+	defer g.dictMu.RUnlock()
 	for _, p := range g.predicates[1:] {
 		if !fn(p) {
 			return
@@ -580,20 +880,39 @@ func (g *Graph) Predicates(fn func(*Predicate) bool) {
 	}
 }
 
-// MutationsSince returns a copy of the mutation log entries with sequence
-// numbers strictly greater than seq.
-func (g *Graph) MutationsSince(seq uint64) []Mutation {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	i := sort.Search(len(g.log), func(i int) bool { return g.log[i].Seq > seq })
-	out := make([]Mutation, len(g.log)-i)
-	copy(out, g.log[i:])
+// mutationsSinceLocked merges the per-shard logs' entries with sequence
+// numbers strictly greater than seq into one ascending feed. Callers must
+// hold every shard's read lock.
+func (g *Graph) mutationsSinceLocked(seq uint64) []Mutation {
+	total := 0
+	starts := make([]int, len(g.shards))
+	for i := range g.shards {
+		log := g.shards[i].log
+		starts[i] = sort.Search(len(log), func(j int) bool { return log[j].Seq > seq })
+		total += len(log) - starts[i]
+	}
+	out := make([]Mutation, 0, total)
+	for i := range g.shards {
+		out = append(out, g.shards[i].log[starts[i]:]...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
 	return out
 }
 
-// LastSeq returns the sequence number of the most recent mutation.
+// MutationsSince returns a copy of the mutation log entries with sequence
+// numbers strictly greater than seq, in ascending sequence order, merged
+// across the per-shard sub-logs under one consistent all-shard cut.
+func (g *Graph) MutationsSince(seq uint64) []Mutation {
+	g.rlockAll()
+	defer g.runlockAll()
+	return g.mutationsSinceLocked(seq)
+}
+
+// LastSeq returns the sequence number of the most recent mutation. A bare
+// atomic load: the mutation that owns the returned number may still be
+// completing on its shard, so treat the value as a staleness hint; use
+// TriplesSnapshot or MutationsSince for reads whose watermark must
+// exactly match the observed state.
 func (g *Graph) LastSeq() uint64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.nextSeq
+	return g.seq.Load()
 }

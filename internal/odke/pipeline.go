@@ -95,8 +95,23 @@ func (p *Pipeline) CollectCandidates(gap Gap) ([]CandidateFact, []string, int) {
 // Run executes the pipeline over the gaps, asserting fused facts into the
 // graph. Stale gaps get their old value retracted before the new value is
 // asserted.
+//
+// Fused write-backs are accumulated and flushed through the graph's batch
+// ingestion path instead of asserted one lock round-trip at a time.
+// Retrieval and extraction never read the gap slot's current facts, so
+// deferring the asserts is observationally equivalent within a run — with
+// one exception: a stale gap reads (and retracts) the slot's facts, so
+// any pending writes are flushed first to preserve read-your-writes
+// ordering when a run both fills and refreshes the same slot.
 func (p *Pipeline) Run(gaps []Gap) (Report, error) {
 	rep := Report{Gaps: len(gaps)}
+	var pending []kg.Triple
+	flush := func() error {
+		added, err := p.graph.AssertBatch(pending)
+		rep.FactsAdded += added
+		pending = pending[:0]
+		return err
+	}
 	for _, gap := range gaps {
 		cands, queries, nDocs := p.CollectCandidates(gap)
 		out := GapOutcome{Gap: gap, Queries: queries, DocsRetrieved: nDocs, Candidates: cands}
@@ -105,11 +120,14 @@ func (p *Pipeline) Run(gaps []Gap) (Report, error) {
 			out.Fused = fused
 			out.Filled = true
 			if gap.Kind == GapStale {
+				if err := flush(); err != nil {
+					return rep, fmt.Errorf("odke: assert fused facts: %w", err)
+				}
 				for _, old := range p.graph.Facts(gap.Subject, gap.Predicate) {
 					p.graph.Retract(old)
 				}
 			}
-			isNew, err := p.graph.AssertNew(kg.Triple{
+			pending = append(pending, kg.Triple{
 				Subject:   gap.Subject,
 				Predicate: gap.Predicate,
 				Object:    fused.Value,
@@ -120,15 +138,12 @@ func (p *Pipeline) Run(gaps []Gap) (Report, error) {
 					SourceQuality: fused.Group.Features(len(cands)).MeanQuality,
 				},
 			})
-			if err != nil {
-				return rep, fmt.Errorf("odke: assert fused fact for gap %v: %w", gap, err)
-			}
-			if isNew {
-				rep.FactsAdded++
-			}
 			rep.Filled++
 		}
 		rep.Outcomes = append(rep.Outcomes, out)
+	}
+	if err := flush(); err != nil {
+		return rep, fmt.Errorf("odke: assert fused facts: %w", err)
 	}
 	return rep, nil
 }

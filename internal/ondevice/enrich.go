@@ -60,9 +60,11 @@ func BuildStaticAsset(g *kg.Graph, topK int) (*StaticAsset, error) {
 }
 
 func (a *StaticAsset) rebuild() {
-	type pe struct {
-		e *kg.Entity
-	}
+	// Record the watermark BEFORE scanning: a mutation that lands mid-scan
+	// may or may not be reflected in the entries, so the conservative
+	// stamp makes the next Refresh re-apply it rather than silently skip
+	// it (stamping after the scan could mark unseen mutations as done).
+	seq := a.graph.LastSeq()
 	var all []*kg.Entity
 	a.graph.Entities(func(e *kg.Entity) bool {
 		all = append(all, e)
@@ -93,7 +95,7 @@ func (a *StaticAsset) rebuild() {
 		entries[e.Key] = entry
 	}
 	a.Entries = entries
-	a.SourceSeq = a.graph.LastSeq()
+	a.SourceSeq = seq
 	a.size = len(entries)
 }
 

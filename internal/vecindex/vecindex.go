@@ -95,6 +95,7 @@ type FlatIndex struct {
 	dim     int
 	ids     []uint64
 	data    []float32 // len(ids)*dim, row-major
+	norms   []float32 // L2 norm per row, maintained on Add for cosine scans
 	pos     map[uint64]int
 	version uint64 // bumped on every Add; result caches key on it
 }
@@ -117,11 +118,13 @@ func (f *FlatIndex) Add(id uint64, v Vector) error {
 	f.version++
 	if i, ok := f.pos[id]; ok {
 		copy(f.data[i*f.dim:(i+1)*f.dim], v)
+		f.norms[i] = Norm(v)
 		return nil
 	}
 	f.pos[id] = len(f.ids)
 	f.ids = append(f.ids, id)
 	f.data = append(f.data, v...)
+	f.norms = append(f.norms, Norm(v))
 	return nil
 }
 
@@ -163,6 +166,35 @@ func (f *FlatIndex) SearchFiltered(q Vector, k int, keep func(uint64) bool) []Re
 	return topKRows(len(f.ids), k,
 		func(i int) uint64 { return f.ids[i] },
 		func(i int) float32 { return dotContig(q, f.data[i*dim:(i+1)*dim]) },
+		func(i int) bool { return keep == nil || keep(f.ids[i]) })
+}
+
+// SearchCosineFiltered ranks by cosine similarity instead of raw inner
+// product, restricted to IDs accepted by keep (nil = all). Stored vectors
+// need not be normalized: each row's score is its inner product with q
+// scaled by the row's cached L2 norm and q's norm, so the ranking agrees
+// with Cosine() regardless of how the vectors were scaled at Add time.
+// Zero-norm rows (and a zero-norm query) score 0, matching Cosine.
+func (f *FlatIndex) SearchCosineFiltered(q Vector, k int, keep func(uint64) bool) []Result {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(q) != f.dim || f.dim == 0 {
+		return nil
+	}
+	qn := Norm(q)
+	if qn == 0 {
+		return nil
+	}
+	dim := f.dim
+	return topKRows(len(f.ids), k,
+		func(i int) uint64 { return f.ids[i] },
+		func(i int) float32 {
+			n := f.norms[i]
+			if n == 0 {
+				return 0
+			}
+			return dotContig(q, f.data[i*dim:(i+1)*dim]) / (qn * n)
+		},
 		func(i int) bool { return keep == nil || keep(f.ids[i]) })
 }
 

@@ -180,8 +180,13 @@ func GenerateKG(cfg KGConfig) (*World, error) {
 	pLibID := addPred("libraryID", kg.KindString, true)
 
 	prov := kg.Provenance{Source: "curated", Confidence: 0.95, SourceQuality: 0.9, ObservedAt: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)}
-	assert := func(s kg.EntityID, p kg.PredicateID, obj kg.Value) error {
-		return g.Assert(kg.Triple{Subject: s, Predicate: p, Object: obj, Prov: prov})
+	// Facts are accumulated and flushed through the graph's batch
+	// ingestion fast path (one lock acquisition per shard, indexes grown
+	// once) instead of locking per triple. Validation happens at flush;
+	// every referenced entity/predicate is registered before then.
+	var batch []kg.Triple
+	assert := func(s kg.EntityID, p kg.PredicateID, obj kg.Value) {
+		batch = append(batch, kg.Triple{Subject: s, Predicate: p, Object: obj, Prov: prov})
 	}
 
 	// Occupation entities. The first one is made globally "popular" so the
@@ -262,9 +267,11 @@ func GenerateKG(cfg KGConfig) (*World, error) {
 			g.Entity(themeOcc).Name,
 			g.Entity(city).Name,
 			g.Entity(w.Teams[cluster]).Name)
+		// Alias list: full name + last name alone (creates natural
+		// ambiguity among same-surname people).
 		id, err := g.AddEntity(kg.Entity{
 			Key: fmt.Sprintf("person%d", i), Name: name,
-			Aliases:     []string{name, firstNames[0]},
+			Aliases:     []string{name, lastNameOf(name)},
 			Description: desc,
 			Types:       []kg.TypeID{w.Types["Athlete"]},
 			Popularity:  zipf(i, cfg.NumPeople),
@@ -272,10 +279,6 @@ func GenerateKG(cfg KGConfig) (*World, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Alias list: full name + last name alone (creates natural
-		// ambiguity among same-surname people).
-		e := g.Entity(id)
-		e.Aliases = []string{name, lastNameOf(name)}
 		w.People = append(w.People, id)
 		w.Cluster[id] = cluster
 		w.ClusterMembers[cluster] = append(w.ClusterMembers[cluster], id)
@@ -306,71 +309,52 @@ func GenerateKG(cfg KGConfig) (*World, error) {
 		}
 		w.OccupationGold[p] = gold
 		for _, occ := range gold {
-			if err := assert(p, pOcc, kg.EntityValue(occ)); err != nil {
-				return nil, err
-			}
+			assert(p, pOcc, kg.EntityValue(occ))
 		}
 		// Cluster-structural facts.
-		if err := assert(p, pMember, kg.EntityValue(w.Teams[cluster])); err != nil {
-			return nil, err
-		}
-		if err := assert(p, pBorn, kg.EntityValue(w.Cities[cluster%len(w.Cities)])); err != nil {
-			return nil, err
-		}
+		assert(p, pMember, kg.EntityValue(w.Teams[cluster]))
+		assert(p, pBorn, kg.EntityValue(w.Cities[cluster%len(w.Cities)]))
 		if rng.Float64() < 0.7 {
-			if err := assert(p, pAward, kg.EntityValue(w.Awards[cluster])); err != nil {
-				return nil, err
-			}
+			assert(p, pAward, kg.EntityValue(w.Awards[cluster]))
 		}
 		// Intra-cluster collaborators (2 random co-members).
 		members := w.ClusterMembers[cluster]
 		for k := 0; k < 2 && len(members) > 1; k++ {
 			other := members[rng.Intn(len(members))]
 			if other != p {
-				if err := assert(p, pCollab, kg.EntityValue(other)); err != nil {
-					return nil, err
-				}
+				assert(p, pCollab, kg.EntityValue(other))
 			}
 		}
 		// Sparse inter-cluster noise edge.
 		if rng.Float64() < 0.1 {
 			other := w.People[rng.Intn(len(w.People))]
 			if other != p {
-				if err := assert(p, pCollab, kg.EntityValue(other)); err != nil {
-					return nil, err
-				}
+				assert(p, pCollab, kg.EntityValue(other))
 			}
 		}
 		// Occasional spouse inside cluster.
 		if rng.Float64() < 0.2 && len(members) > 1 {
 			other := members[rng.Intn(len(members))]
 			if other != p {
-				if err := assert(p, pSpouse, kg.EntityValue(other)); err != nil {
-					return nil, err
-				}
+				assert(p, pSpouse, kg.EntityValue(other))
 			}
 		}
 		// Literal facts (the §2 "non-relevant" noise for embeddings).
 		dob := time.Date(1950+rng.Intn(55), time.Month(1+rng.Intn(12)), 1+rng.Intn(28), 0, 0, 0, 0, time.UTC)
-		if err := assert(p, pDOB, kg.TimeValue(dob)); err != nil {
-			return nil, err
-		}
+		assert(p, pDOB, kg.TimeValue(dob))
 		for k := 0; k < cfg.LiteralNoiseFacts; k++ {
 			switch k % 3 {
 			case 0:
-				if err := assert(p, pHeight, kg.IntValue(int64(150+rng.Intn(70)))); err != nil {
-					return nil, err
-				}
+				assert(p, pHeight, kg.IntValue(int64(150+rng.Intn(70))))
 			case 1:
-				if err := assert(p, pFollowers, kg.IntValue(int64(rng.Intn(5_000_000)))); err != nil {
-					return nil, err
-				}
+				assert(p, pFollowers, kg.IntValue(int64(rng.Intn(5_000_000))))
 			default:
-				if err := assert(p, pLibID, kg.StringValue(fmt.Sprintf("LIB-%06d", rng.Intn(999999)))); err != nil {
-					return nil, err
-				}
+				assert(p, pLibID, kg.StringValue(fmt.Sprintf("LIB-%06d", rng.Intn(999999))))
 			}
 		}
+	}
+	if _, err := g.AssertBatch(batch); err != nil {
+		return nil, err
 	}
 
 	// Plant ambiguous name pairs across clusters (the "Michael Jordan"
@@ -392,16 +376,20 @@ func GenerateKG(cfg KGConfig) (*World, error) {
 		renamed[b] = true
 		shared := fmt.Sprintf("%s %s", firstNames[k%len(firstNames)], lastNames[(k*3+9)%len(lastNames)])
 		for _, id := range []kg.EntityID{a, b} {
-			e := g.Entity(id)
-			e.Name = shared
-			e.Aliases = []string{shared, lastNameOf(shared)}
-			// Rebuild description to reflect the new name.
+			// Rebuild name, aliases, and description to reflect the new
+			// name. UpdateEntity replaces the stored record copy-on-write;
+			// mutating the pointer Entity() returns is forbidden.
 			cl := w.Cluster[id]
-			e.Description = fmt.Sprintf("%s, a %s from %s, member of %s",
+			desc := fmt.Sprintf("%s, a %s from %s, member of %s",
 				shared,
 				g.Entity(w.ThemeOccs[cl]).Name,
 				g.Entity(w.Cities[cl%len(w.Cities)]).Name,
 				g.Entity(w.Teams[cl]).Name)
+			g.UpdateEntity(id, func(e *kg.Entity) {
+				e.Name = shared
+				e.Aliases = []string{shared, lastNameOf(shared)}
+				e.Description = desc
+			})
 		}
 		w.AmbiguousNames[shared] = []kg.EntityID{a, b}
 	}

@@ -76,8 +76,14 @@ const (
 	GapStale   = odke.GapStale
 )
 
-// NewGraph returns an empty knowledge graph.
+// NewGraph returns an empty knowledge graph with the default write-shard
+// count (GOMAXPROCS rounded up to a power of two).
 func NewGraph() *Graph { return kg.NewGraph() }
+
+// NewGraphWithShards returns an empty knowledge graph with an explicit
+// write-shard count (rounded up to a power of two); shard count 1 is the
+// classic single-lock graph.
+func NewGraphWithShards(n int) *Graph { return kg.NewGraphWithShards(n) }
 
 // Graph engine (internal/graphengine).
 type (

@@ -1,0 +1,137 @@
+// Command benchcmp compares two BENCH_<date>.json snapshots produced by
+// scripts/bench.sh and fails (exit 1) when any benchmark matching the
+// filter regressed in ns/op beyond the threshold. It is the regression
+// gate behind `scripts/bench.sh --check`: the E1–E12 experiment suite is
+// the paper's price/performance surface, so a >20% slowdown in any of
+// them should stop a PR, while new or removed benchmarks are reported but
+// never fail the check.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-threshold 1.20] [-filter regex] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// entry mirrors one element of the bench.sh JSON array.
+type entry struct {
+	Date       string             `json:"date"`
+	Name       string             `json:"name"`
+	Iters      int64              `json:"iters"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// load indexes a snapshot by benchmark name. A name appearing more than
+// once (bench.sh with BENCH_COUNT > 1) keeps its fastest run: the
+// minimum is the standard noise-damping statistic for same-machine
+// comparisons — a benchmark can run slower than its best for a hundred
+// environmental reasons but faster for none.
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]entry, len(list))
+	for _, e := range list {
+		if prev, ok := out[e.Name]; ok && prev.NsPerOp <= e.NsPerOp {
+			continue
+		}
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.20, "fail when new/old ns/op exceeds this ratio")
+	filter := flag.String("filter", `^BenchmarkE([1-9]|1[0-2])([^0-9]|$)`, "regexp of benchmark names the gate applies to")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold r] [-filter re] old.json new.json")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	gatedCompared := 0
+	for _, name := range names {
+		n := cur[name]
+		o, ok := old[name]
+		if !ok {
+			fmt.Printf("NEW      %-55s %12.0f ns/op\n", name, n.NsPerOp)
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		status := "ok"
+		gated := re.MatchString(name)
+		if gated {
+			gatedCompared++
+		}
+		switch {
+		case gated && ratio > *threshold:
+			status = "REGRESS"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", name, o.NsPerOp, n.NsPerOp, ratio))
+		case ratio > *threshold:
+			status = "slower" // informational: outside the gated set
+		case ratio < 1/(*threshold):
+			status = "faster"
+		}
+		fmt.Printf("%-8s %-55s %12.0f -> %10.0f ns/op  %5.2fx\n", status, name, o.NsPerOp, n.NsPerOp, ratio)
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("GONE     %-55s\n", name)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: %d gated regression(s) beyond %.2fx:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	if gatedCompared == 0 {
+		// A gate that compared nothing proves nothing — most likely the
+		// two snapshots' names do not line up (or the filter is wrong).
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: no benchmark matching %q was present in BOTH snapshots; the gate is vacuous\n", *filter)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchcmp: no gated regressions beyond %.2fx (%d benchmarks compared, %d gated)\n", *threshold, len(names), gatedCompared)
+}
