@@ -182,7 +182,7 @@ func (s *Service) RankFacts(subject kg.EntityID, predicate kg.PredicateID) ([]Ra
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
-		return out[i].Triple.Object.Key() < out[j].Triple.Object.Key()
+		return out[i].Triple.Object.MapKey().Compare(out[j].Triple.Object.MapKey()) < 0
 	})
 	return out, nil
 }

@@ -2,6 +2,7 @@ package graphengine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"saga/internal/kg"
@@ -47,8 +48,16 @@ type Clause struct {
 type Binding map[string]kg.Value
 
 // QueryConjunctive evaluates the conjunction and returns all satisfying
-// bindings. Duplicate bindings are collapsed. The result order is
-// deterministic (sorted by rendered binding).
+// bindings. Duplicate bindings are collapsed and the result order is
+// deterministic; both identity and order are defined by the bindings'
+// kg.ValueKey tuples in sorted-variable order, never by rendered strings
+// (a string encoding let adversarial literals containing the separator
+// characters collide distinct bindings).
+//
+// Evaluation re-picks the cheapest unresolved clause at every join depth
+// from the current partial binding, so the join order adapts as variables
+// bind — affordable because the cost probes are counter lookups on the
+// graph's predicate-major index, not materialized result slices.
 func (e *Engine) QueryConjunctive(clauses []Clause) ([]Binding, error) {
 	for i, c := range clauses {
 		if c.Subject.Var == "" && !c.Subject.Const.IsEntity() {
@@ -58,68 +67,145 @@ func (e *Engine) QueryConjunctive(clauses []Clause) ([]Binding, error) {
 			return nil, fmt.Errorf("graphengine: clause %d: predicate required", i)
 		}
 	}
-	results := make(map[string]Binding)
-	e.solve(clauses, Binding{}, results)
-	out := make([]Binding, 0, len(results))
-	keys := make([]string, 0, len(results))
-	for k := range results {
-		keys = append(keys, k)
+	// Canonical variable order: every leaf binding is materialized as the
+	// tuple of its values in this order, which is what dedup and result
+	// ordering compare.
+	var vars []string
+	for _, c := range clauses {
+		for _, t := range [2]Term{c.Subject, c.Object} {
+			if t.Var != "" && !slices.Contains(vars, t.Var) {
+				vars = append(vars, t.Var)
+			}
+		}
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		out = append(out, results[k])
+	sort.Strings(vars)
+
+	s := solver{
+		e:       e,
+		vars:    vars,
+		clauses: append([]Clause(nil), clauses...),
+		bound:   make(Binding, len(vars)),
+	}
+	s.solve(0)
+
+	// Deterministic order + dedup on the comparable key tuples.
+	order := make([]int, len(s.rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return compareKeyRows(s.keys[order[a]], s.keys[order[b]]) < 0
+	})
+	out := make([]Binding, 0, len(s.rows))
+	for i, idx := range order {
+		if i > 0 && compareKeyRows(s.keys[order[i-1]], s.keys[idx]) == 0 {
+			continue
+		}
+		b := make(Binding, len(vars))
+		for j, name := range vars {
+			b[name] = s.rows[idx][j]
+		}
+		out = append(out, b)
 	}
 	return out, nil
 }
 
-// solve recursively picks the most selective unresolved clause under the
-// current binding, enumerates its matches, and recurses.
-func (e *Engine) solve(clauses []Clause, bound Binding, results map[string]Binding) {
-	if len(clauses) == 0 {
-		results[renderBinding(bound)] = cloneBinding(bound)
+// compareKeyRows lexicographically orders two equal-length ValueKey
+// tuples.
+func compareKeyRows(a, b []kg.ValueKey) int {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// solver carries the state of one QueryConjunctive evaluation: the
+// in-place reorderable clause list, the mutable partial binding, and the
+// accumulated result rows with their comparable key tuples.
+type solver struct {
+	e       *Engine
+	vars    []string
+	clauses []Clause
+	bound   Binding
+	rows    [][]kg.Value
+	keys    [][]kg.ValueKey
+}
+
+// solve evaluates clauses[idx:] under the current binding: it swaps the
+// clause with the smallest estimated extension to position idx (cost
+// re-estimated at every depth from the variables bound so far),
+// enumerates its matches, and recurses. At a leaf every variable is
+// bound; the binding is captured as a value row plus its key tuple.
+func (s *solver) solve(idx int) {
+	if idx == len(s.clauses) {
+		row := make([]kg.Value, len(s.vars))
+		keys := make([]kg.ValueKey, len(s.vars))
+		for i, name := range s.vars {
+			v := s.bound[name]
+			row[i] = v
+			keys[i] = v.MapKey()
+		}
+		s.rows = append(s.rows, row)
+		s.keys = append(s.keys, keys)
 		return
 	}
-	// Pick the clause with the smallest estimated extension.
-	bestIdx := 0
-	bestCost := int(^uint(0) >> 1)
-	for i, c := range clauses {
-		cost := e.estimate(c, bound)
-		if cost < bestCost {
-			bestCost = cost
-			bestIdx = i
+	best := idx
+	bestCost := s.e.estimate(s.clauses[idx], s.bound)
+	for j := idx + 1; j < len(s.clauses); j++ {
+		if cost := s.e.estimate(s.clauses[j], s.bound); cost < bestCost {
+			best, bestCost = j, cost
 		}
 	}
-	chosen := clauses[bestIdx]
-	rest := make([]Clause, 0, len(clauses)-1)
-	rest = append(rest, clauses[:bestIdx]...)
-	rest = append(rest, clauses[bestIdx+1:]...)
+	s.clauses[idx], s.clauses[best] = s.clauses[best], s.clauses[idx]
+	chosen := s.clauses[idx]
 
-	for _, t := range e.expand(chosen, bound) {
-		next := bound
-		var added []string
-		ok := true
-		bindTerm := func(term Term, val kg.Value) {
-			if !ok || term.Var == "" {
-				return
+	// Fully resolved clause: a single membership check, no candidate
+	// slice and no bindings to roll back. The lookup is SPO identity
+	// (like every constant-object index path); a var-bound object then
+	// re-applies the join's Equal semantics, so a NaN-valued binding is
+	// pruned here exactly as bindVar prunes it on the general path.
+	if sv, sBound := resolve(chosen.Subject, s.bound); sBound {
+		if ov, oBound := resolve(chosen.Object, s.bound); oBound {
+			if s.e.g.HasFact(sv.Entity, chosen.Predicate, ov) &&
+				(chosen.Object.Var == "" || ov.Equal(ov)) {
+				s.solve(idx + 1)
 			}
-			if existing, has := next[term.Var]; has {
-				if !existing.Equal(val) {
-					ok = false
-				}
-				return
-			}
-			next[term.Var] = val
-			added = append(added, term.Var)
-		}
-		bindTerm(chosen.Subject, kg.EntityValue(t.Subject))
-		bindTerm(chosen.Object, t.Object)
-		if ok {
-			e.solve(rest, next, results)
-		}
-		for _, v := range added {
-			delete(next, v)
+			return
 		}
 	}
+
+	for _, t := range s.e.expand(chosen, s.bound) {
+		// A clause binds at most two variables; track them in a fixed
+		// array so each match costs no bookkeeping allocations.
+		var added [2]string
+		n := 0
+		ok := s.bindVar(chosen.Subject.Var, kg.EntityValue(t.Subject), &added, &n) &&
+			s.bindVar(chosen.Object.Var, t.Object, &added, &n)
+		if ok {
+			s.solve(idx + 1)
+		}
+		for i := 0; i < n; i++ {
+			delete(s.bound, added[i])
+		}
+	}
+}
+
+// bindVar extends the partial binding with name=val, reporting false on a
+// conflict with an existing binding (Equal semantics, matching the join).
+// Newly bound names are recorded in added for rollback.
+func (s *solver) bindVar(name string, val kg.Value, added *[2]string, n *int) bool {
+	if name == "" {
+		return true
+	}
+	if existing, has := s.bound[name]; has {
+		return existing.Equal(val)
+	}
+	s.bound[name] = val
+	added[*n] = name
+	*n++
+	return true
 }
 
 // resolve substitutes the binding into a term, returning the concrete
@@ -133,7 +219,10 @@ func resolve(t Term, bound Binding) (kg.Value, bool) {
 }
 
 // estimate approximates how many triples expanding the clause would
-// enumerate under the binding.
+// enumerate under the binding. Every arm is a counter lookup (FactCount,
+// SubjectsWithCount, PredicateFrequency) — no result slice is ever
+// materialized for cost estimation, so the planner can afford to
+// re-estimate at every join depth.
 func (e *Engine) estimate(c Clause, bound Binding) int {
 	s, sBound := resolve(c.Subject, bound)
 	o, oBound := resolve(c.Object, bound)
@@ -141,15 +230,17 @@ func (e *Engine) estimate(c Clause, bound Binding) int {
 	case sBound && oBound:
 		return 1
 	case sBound:
-		return len(e.g.Facts(s.Entity, c.Predicate)) + 1
+		return e.g.FactCount(s.Entity, c.Predicate) + 1
 	case oBound:
-		return len(e.g.SubjectsWith(c.Predicate, o)) + 1
+		return e.g.SubjectsWithCount(c.Predicate, o) + 1
 	default:
 		return e.g.PredicateFrequency(c.Predicate) + 2
 	}
 }
 
 // expand enumerates the triples matching the clause under the binding.
+// Bound-object clauses read one posting list from the predicate-major
+// index instead of sweeping every subject shard.
 func (e *Engine) expand(c Clause, bound Binding) []kg.Triple {
 	s, sBound := resolve(c.Subject, bound)
 	o, oBound := resolve(c.Object, bound)
@@ -162,35 +253,19 @@ func (e *Engine) expand(c Clause, bound Binding) []kg.Triple {
 	case sBound:
 		return e.g.Facts(s.Entity, c.Predicate)
 	case oBound:
-		subs := e.g.SubjectsWith(c.Predicate, o)
-		out := make([]kg.Triple, 0, len(subs))
-		for _, sub := range subs {
+		// The count is only a capacity hint: the streaming read below is
+		// the single consistent enumeration (a writer may land between
+		// the two stripe acquisitions, so never truncate at the hint).
+		out := make([]kg.Triple, 0, e.g.SubjectsWithCount(c.Predicate, o))
+		e.g.SubjectsWithFunc(c.Predicate, o, func(sub kg.EntityID) bool {
 			out = append(out, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: o})
+			return true
+		})
+		if len(out) == 0 {
+			return nil
 		}
 		return out
 	default:
 		return e.Query(Pattern{Predicate: P(c.Predicate)})
 	}
-}
-
-func cloneBinding(b Binding) Binding {
-	out := make(Binding, len(b))
-	for k, v := range b {
-		out[k] = v
-	}
-	return out
-}
-
-// renderBinding produces a canonical string for dedup and ordering.
-func renderBinding(b Binding) string {
-	keys := make([]string, 0, len(b))
-	for k := range b {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	s := ""
-	for _, k := range keys {
-		s += k + "=" + b[k].Key() + ";"
-	}
-	return s
 }

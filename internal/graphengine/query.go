@@ -63,24 +63,24 @@ func (e *Engine) Query(p Pattern) []kg.Triple {
 		}
 		return out
 	case p.Object != nil && p.Object.IsEntity():
-		if p.Predicate == nil {
-			return g.Incoming(p.Object.Entity)
-		}
+		// The P+O case above has already captured patterns with a bound
+		// predicate, so only the bare incoming-edge scan remains here.
+		return g.Incoming(p.Object.Entity)
+	case p.Predicate != nil:
+		// Predicate-only: enumerate the predicate's posting lists from the
+		// predicate-major index instead of scanning every triple. Like the
+		// P+O index path, the reconstructed triples carry no provenance.
 		var out []kg.Triple
-		g.IncomingFunc(p.Object.Entity, func(t kg.Triple) bool {
-			if t.Predicate == *p.Predicate {
-				out = append(out, t)
-			}
+		g.PredicateEntriesFunc(*p.Predicate, func(obj kg.Value, subj kg.EntityID) bool {
+			out = append(out, kg.Triple{Subject: subj, Predicate: *p.Predicate, Object: obj})
 			return true
 		})
 		return out
 	default:
-		// Full scan with residual filters.
+		// Nothing bound, or only a literal object: full scan with the
+		// residual object filter.
 		var out []kg.Triple
 		g.Triples(func(t kg.Triple) bool {
-			if p.Predicate != nil && t.Predicate != *p.Predicate {
-				return true
-			}
 			if p.Object != nil && !t.Object.Equal(*p.Object) {
 				return true
 			}

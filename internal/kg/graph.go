@@ -63,7 +63,6 @@ type graphShard struct {
 	// shard; incoming-edge reads merge the entry across all shards.
 	osp map[EntityID][]Triple
 
-	predCount  map[PredicateID]int
 	tripleKeys map[TripleKey]struct{}
 
 	// log holds this shard's slice of the global mutation feed. Sequence
@@ -78,7 +77,6 @@ func (sh *graphShard) init() {
 	sh.spo = make(map[EntityID]map[PredicateID][]Triple)
 	sh.pos = make(map[PredicateID]map[ValueKey][]EntityID)
 	sh.osp = make(map[EntityID][]Triple)
-	sh.predCount = make(map[PredicateID]int)
 	sh.tripleKeys = make(map[TripleKey]struct{})
 }
 
@@ -91,10 +89,12 @@ func (sh *graphShard) init() {
 // default GOMAXPROCS rounded up) by subject ID, each with its own
 // RWMutex, so concurrent Assert/Retract on different subjects scale with
 // cores instead of serializing on one graph lock. Reads bound to a
-// subject (Facts, Outgoing, HasFact) touch exactly one shard. Reads that
-// span subjects either visit shards one at a time (Incoming, SubjectsWith,
-// NumTriples — each shard internally consistent, the union as fresh as
-// the moment its shard was visited) or, when they carry watermark
+// subject (Facts, Outgoing, HasFact) touch exactly one shard. Reads
+// bound to a predicate (SubjectsWith, PredicateFrequency) touch exactly
+// one pom stripe. Reads that span subjects either visit shards one at a
+// time (Incoming, SubjectsWithSweep, NumTriples — each shard internally
+// consistent, the union as fresh as the moment its shard was visited)
+// or, when they carry watermark
 // semantics (TriplesSnapshot, MutationsSince, Triples, AllTriples),
 // hold every shard's read lock at once for a single
 // consistent cut. Shard locks are always acquired in index order and
@@ -108,9 +108,22 @@ func (sh *graphShard) init() {
 // # Index layout and key encoding
 //
 //	spo: subject -> predicate -> []Triple          (fact lookup, outgoing)
-//	pos: predicate -> ValueKey -> []EntityID       (reverse fact lookup)
+//	pos: predicate -> ValueKey -> []EntityID       (reverse fact lookup,
+//	     restricted to the shard's subjects; SubjectsWithSweep merges it)
 //	osp: object-entity -> []Triple                 (incoming entity edges)
 //	tripleKeys: set of TripleKey                   (SPO identity, dedup)
+//
+// Alongside the subject-sharded indexes lives the predicate-major
+// secondary index (pom, see pom.go): predicate -> ValueKey -> the
+// subjects asserting that (pred, obj) fact, merged across shards and
+// partitioned into fixed per-predicate lock stripes, with per-predicate
+// triple and entity-triple totals. Cross-subject probes (SubjectsWith,
+// SubjectsWithCount, PredicateFrequency, PredicateEntriesFunc,
+// ComputeStats) read one stripe instead of sweeping every shard. Writers
+// update the stripe inside the same shard critical section that applies
+// the mutation — shard lock first, stripe lock second, stripe locks
+// strictly leaf-level — so the all-shard read lock freezes the pom index
+// at the watermark exactly like the sharded indexes.
 //
 // Fact identity is the comparable TripleKey struct (subject ID, predicate
 // ID, object ValueKey); see ValueKey for the per-kind payload encoding.
@@ -154,6 +167,9 @@ type Graph struct {
 
 	shardMask uint32
 	shards    []graphShard
+
+	// pom is the predicate-major secondary index (see pom.go).
+	pom [pomStripeCount]pomStripe
 }
 
 // defaultShardCount returns GOMAXPROCS rounded up to a power of two,
@@ -201,6 +217,9 @@ func NewGraphWithShards(n int) *Graph {
 	g.predLen.Store(1)
 	for i := range g.shards {
 		g.shards[i].init()
+	}
+	for i := range g.pom {
+		g.pom[i].preds = make(map[PredicateID]*predPostings)
 	}
 	return g
 }
@@ -421,7 +440,7 @@ func (g *Graph) assertShardLocked(sh *graphShard, t Triple, key TripleKey) bool 
 	if t.Object.IsEntity() {
 		sh.osp[t.Object.Entity] = append(sh.osp[t.Object.Entity], t)
 	}
-	sh.predCount[t.Predicate]++
+	g.pomAssertLocked(t.Subject, t.Predicate, key.Object)
 
 	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpAssert, T: t})
 	return true
@@ -537,10 +556,10 @@ func (g *Graph) assertShardBatch(sh *graphShard, ts []Triple, keys []TripleKey, 
 			if t.Object.IsEntity() {
 				sh.osp[t.Object.Entity] = append(sh.osp[t.Object.Entity], t)
 			}
-			sh.predCount[t.Predicate]++
 			sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpAssert, T: t})
 		}
 		bySubj[t0.Predicate] = lst
+		g.pomAssertRunLocked(t0.Predicate, t0.Subject, keys, run)
 		i = j
 	}
 	return len(kept)
@@ -582,7 +601,7 @@ func (g *Graph) Retract(t Triple) bool {
 			delete(sh.osp, t.Object.Entity)
 		}
 	}
-	sh.predCount[t.Predicate]--
+	g.pomRetractLocked(t.Subject, t.Predicate, key.Object)
 
 	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpRetract, T: t})
 	return true
@@ -649,11 +668,21 @@ func (g *Graph) FactsFunc(subj EntityID, pred PredicateID, fn func(Triple) bool)
 // HasFacts reports whether at least one (subj, pred, *) fact is asserted,
 // without materializing the fact slice.
 func (g *Graph) HasFacts(subj EntityID, pred PredicateID) bool {
+	return g.FactCount(subj, pred) > 0
+}
+
+// FactCount returns the number of (subj, pred, *) facts without
+// materializing the fact slice: one shard read lock and two map lookups.
+// It is the planner's bound-subject selectivity probe.
+func (g *Graph) FactCount(subj EntityID, pred PredicateID) int {
 	sh := g.shard(subj)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	bySubj := sh.spo[subj]
-	return bySubj != nil && len(bySubj[pred]) > 0
+	if bySubj == nil {
+		return 0
+	}
+	return len(bySubj[pred])
 }
 
 // Outgoing returns every triple whose subject is subj.
@@ -716,22 +745,6 @@ func (g *Graph) IncomingFunc(obj EntityID, fn func(Triple) bool) {
 	}
 }
 
-// SubjectsWith returns the subjects that carry (pred, obj) facts, merged
-// across shards in shard order.
-func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
-	key := obj.MapKey()
-	var out []EntityID
-	for i := range g.shards {
-		sh := &g.shards[i]
-		sh.mu.RLock()
-		if byPred := sh.pos[pred]; byPred != nil {
-			out = append(out, byPred[key]...)
-		}
-		sh.mu.RUnlock()
-	}
-	return out
-}
-
 // HasFact reports whether the exact fact (ignoring provenance) is asserted.
 func (g *Graph) HasFact(subj EntityID, pred PredicateID, obj Value) bool {
 	sh := g.shard(subj)
@@ -758,18 +771,6 @@ func (g *Graph) NumTriples() int {
 		sh := &g.shards[i]
 		sh.mu.RLock()
 		n += len(sh.tripleKeys)
-		sh.mu.RUnlock()
-	}
-	return n
-}
-
-// PredicateFrequency returns the current number of triples using pred.
-func (g *Graph) PredicateFrequency(pred PredicateID) int {
-	n := 0
-	for i := range g.shards {
-		sh := &g.shards[i]
-		sh.mu.RLock()
-		n += sh.predCount[pred]
 		sh.mu.RUnlock()
 	}
 	return n

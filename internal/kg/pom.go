@@ -1,0 +1,226 @@
+package kg
+
+import "sync"
+
+// The predicate-major secondary index ("pom": predicate → object key →
+// posting list of subjects). The per-shard pos index answers "which of
+// MY subjects carry (pred, obj)?", so any cross-subject probe — the
+// bound-object clause of a conjunctive query, a selectivity estimate —
+// has to sweep every shard. The pom index holds the same postings merged
+// across shards, partitioned by predicate into fixed lock stripes, so
+// one stripe read-lock answers the whole-graph question. Per-predicate
+// totals ride along, making PredicateFrequency and the planner's cost
+// estimates O(1) count lookups instead of shard sweeps or slice builds.
+//
+// # Locking and watermark contract
+//
+// Stripe locks are strictly leaf-level: writers update a stripe while
+// holding the mutating shard's write lock (shard lock first, stripe lock
+// second, released before the shard critical section ends); readers take
+// only the stripe read lock and never a shard lock inside it. Because
+// every pom write happens under some shard write lock, holding every
+// shard's read lock (rlockAll) freezes the pom index too — a consistent
+// all-shard cut at watermark w observes pom postings reflecting exactly
+// the first w mutations. A plain pom read is internally consistent for
+// its predicate's stripe and as fresh as the moment the stripe lock was
+// taken, the same semantics the shard-swept SubjectsWith offered per
+// shard.
+
+// pomStripeCount is the number of predicate lock stripes. Predicates are
+// few (hundreds, not millions); 64 stripes keeps writer collisions on
+// distinct predicates rare while bounding the fixed per-graph footprint.
+const pomStripeCount = 64
+
+// predPostings holds one predicate's postings and counters.
+type predPostings struct {
+	// objs maps object identity -> subjects asserting (pred, obj).
+	// Subjects are unique within a list (the graph dedups SPO identity)
+	// and appear in assertion order.
+	objs map[ValueKey][]EntityID
+	// total is the number of (pred, *) triples; entityTotal the subset
+	// whose object is an entity.
+	total       int
+	entityTotal int
+}
+
+// pomStripe guards the postings of the predicates hashing to the stripe.
+// The trailing pad keeps neighboring stripes' mutexes off one cache line.
+type pomStripe struct {
+	mu    sync.RWMutex
+	preds map[PredicateID]*predPostings
+
+	_ [96]byte // pad to 128 bytes
+}
+
+func (g *Graph) pomStripe(pred PredicateID) *pomStripe {
+	return &g.pom[uint32(pred)&(pomStripeCount-1)]
+}
+
+// pomAssertLocked records one newly added triple in the pom index. The
+// caller holds the subject shard's write lock.
+func (g *Graph) pomAssertLocked(subj EntityID, pred PredicateID, obj ValueKey) {
+	st := g.pomStripe(pred)
+	st.mu.Lock()
+	pp := st.preds[pred]
+	if pp == nil {
+		pp = &predPostings{objs: make(map[ValueKey][]EntityID)}
+		st.preds[pred] = pp
+	}
+	pp.objs[obj] = append(pp.objs[obj], subj)
+	pp.total++
+	if obj.Kind == KindEntity {
+		pp.entityTotal++
+	}
+	st.mu.Unlock()
+}
+
+// pomAssertRunLocked records a sorted same-(subject, predicate) run of
+// newly added triples under one stripe lock acquisition. The caller holds
+// the subject shard's write lock.
+func (g *Graph) pomAssertRunLocked(pred PredicateID, subj EntityID, keys []TripleKey, run []int32) {
+	st := g.pomStripe(pred)
+	st.mu.Lock()
+	pp := st.preds[pred]
+	if pp == nil {
+		pp = &predPostings{objs: make(map[ValueKey][]EntityID)}
+		st.preds[pred] = pp
+	}
+	for _, oi := range run {
+		obj := keys[oi].Object
+		pp.objs[obj] = append(pp.objs[obj], subj)
+		if obj.Kind == KindEntity {
+			pp.entityTotal++
+		}
+	}
+	pp.total += len(run)
+	st.mu.Unlock()
+}
+
+// pomRetractLocked removes one retracted triple from the pom index. The
+// caller holds the subject shard's write lock.
+func (g *Graph) pomRetractLocked(subj EntityID, pred PredicateID, obj ValueKey) {
+	st := g.pomStripe(pred)
+	st.mu.Lock()
+	if pp := st.preds[pred]; pp != nil {
+		pp.objs[obj] = removeEntity(pp.objs[obj], subj)
+		if len(pp.objs[obj]) == 0 {
+			delete(pp.objs, obj)
+		}
+		pp.total--
+		if obj.Kind == KindEntity {
+			pp.entityTotal--
+		}
+		if pp.total == 0 {
+			delete(st.preds, pred)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// SubjectsWith returns the subjects that carry (pred, obj) facts, read
+// from the predicate-major index under a single stripe lock (one
+// consistent point for the whole predicate, where the shard-swept variant
+// could interleave with writers between shards). Order is unspecified.
+func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
+	st := g.pomStripe(pred)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	pp := st.preds[pred]
+	if pp == nil {
+		return nil
+	}
+	lst := pp.objs[obj.MapKey()]
+	if len(lst) == 0 {
+		return nil
+	}
+	out := make([]EntityID, len(lst))
+	copy(out, lst)
+	return out
+}
+
+// SubjectsWithFunc streams the subjects carrying (pred, obj) facts to fn
+// under the stripe read lock, stopping early if fn returns false. It is
+// the copy-free counterpart of SubjectsWith; fn must not mutate the graph.
+func (g *Graph) SubjectsWithFunc(pred PredicateID, obj Value, fn func(EntityID) bool) {
+	st := g.pomStripe(pred)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	pp := st.preds[pred]
+	if pp == nil {
+		return
+	}
+	for _, s := range pp.objs[obj.MapKey()] {
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+// SubjectsWithCount returns the number of subjects carrying (pred, obj)
+// facts without materializing the posting list. It is the planner's
+// bound-object selectivity probe: one stripe read lock, two map lookups,
+// zero allocations.
+func (g *Graph) SubjectsWithCount(pred PredicateID, obj Value) int {
+	st := g.pomStripe(pred)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	pp := st.preds[pred]
+	if pp == nil {
+		return 0
+	}
+	return len(pp.objs[obj.MapKey()])
+}
+
+// SubjectsWithSweep answers SubjectsWith from the per-shard pos indexes,
+// visiting shards one at a time (each shard's contribution internally
+// consistent, writers may land between visits). It is the index-free
+// reference implementation the pom property tests and the E13 benchmark
+// baseline compare against; serving paths use SubjectsWith.
+func (g *Graph) SubjectsWithSweep(pred PredicateID, obj Value) []EntityID {
+	key := obj.MapKey()
+	var out []EntityID
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		if byPred := sh.pos[pred]; byPred != nil {
+			out = append(out, byPred[key]...)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// PredicateFrequency returns the current number of triples using pred —
+// an O(1) counter read from the predicate-major index, not a shard sweep.
+func (g *Graph) PredicateFrequency(pred PredicateID) int {
+	st := g.pomStripe(pred)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if pp := st.preds[pred]; pp != nil {
+		return pp.total
+	}
+	return 0
+}
+
+// PredicateEntriesFunc streams every (object value, subject) pair indexed
+// under pred to fn, stopping early if fn returns false. Object values are
+// reconstructed from their identity keys, so provenance is not carried
+// and iteration order is unspecified. fn runs under the stripe read lock
+// and must not mutate the graph.
+func (g *Graph) PredicateEntriesFunc(pred PredicateID, fn func(obj Value, subj EntityID) bool) {
+	st := g.pomStripe(pred)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	pp := st.preds[pred]
+	if pp == nil {
+		return
+	}
+	for key, subjects := range pp.objs {
+		obj := key.Value()
+		for _, s := range subjects {
+			if !fn(obj, s) {
+				return
+			}
+		}
+	}
+}

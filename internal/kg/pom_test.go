@@ -1,0 +1,294 @@
+package kg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// pomTestObjects builds the object-value pool the pom tests draw from:
+// entity references plus literals of every kind, including the
+// adversarial float payloads (NaN bit patterns, signed zeros) whose
+// string renders are ambiguous.
+func pomTestObjects(ents []EntityID) []Value {
+	objs := make([]Value, 0, len(ents)+8)
+	for _, e := range ents {
+		objs = append(objs, EntityValue(e))
+	}
+	objs = append(objs,
+		StringValue(""),
+		StringValue("a;y=s:b"),
+		IntValue(42),
+		FloatValue(math.NaN()),
+		FloatValue(math.Float64frombits(0x7ff8000000000002)),
+		FloatValue(math.Copysign(0, -1)),
+		BoolValue(true),
+		TimeValue(time.Date(2020, 3, 1, 12, 0, 0, 0, time.UTC)),
+	)
+	return objs
+}
+
+func sortedIDs(ids []EntityID) []EntityID {
+	out := append([]EntityID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkPomAgainstSweep compares, for every (pred, obj) pair in the pools,
+// the predicate-major index (SubjectsWith / SubjectsWithCount /
+// PredicateFrequency) against the shard-swept per-shard pos reference
+// (SubjectsWithSweep), and the counter-driven ComputeStats against a full
+// triple scan.
+func checkPomAgainstSweep(t *testing.T, g *Graph, preds []PredicateID, objs []Value) {
+	t.Helper()
+	for _, p := range preds {
+		total := 0
+		seen := make(map[ValueKey]bool, len(objs))
+		for _, o := range objs {
+			if k := o.MapKey(); seen[k] {
+				continue
+			} else {
+				seen[k] = true
+			}
+			pom := sortedIDs(g.SubjectsWith(p, o))
+			sweep := sortedIDs(g.SubjectsWithSweep(p, o))
+			if len(pom) != len(sweep) {
+				t.Fatalf("pred %v obj %v: pom %v vs sweep %v", p, o, pom, sweep)
+			}
+			for i := range pom {
+				if pom[i] != sweep[i] {
+					t.Fatalf("pred %v obj %v: pom %v vs sweep %v", p, o, pom, sweep)
+				}
+			}
+			if c := g.SubjectsWithCount(p, o); c != len(sweep) {
+				t.Fatalf("pred %v obj %v: count %d vs sweep %d", p, o, c, len(sweep))
+			}
+			total += len(sweep)
+		}
+		if f := g.PredicateFrequency(p); f != total {
+			t.Fatalf("pred %v: PredicateFrequency %d vs sweep total %d", p, f, total)
+		}
+	}
+	// ComputeStats (counter-driven) must agree with a direct triple scan.
+	s := ComputeStats(g)
+	wantFreq := make(map[PredicateID]int)
+	wantTriples, wantEntity := 0, 0
+	outDeg := make(map[EntityID]int)
+	g.Triples(func(tr Triple) bool {
+		wantTriples++
+		if tr.Object.IsEntity() {
+			wantEntity++
+		}
+		wantFreq[tr.Predicate]++
+		outDeg[tr.Subject]++
+		return true
+	})
+	if s.Triples != wantTriples || s.EntityTriples != wantEntity || s.LiteralTriples != wantTriples-wantEntity {
+		t.Fatalf("stats counts = %d/%d/%d, scan says %d/%d/%d",
+			s.Triples, s.EntityTriples, s.LiteralTriples, wantTriples, wantEntity, wantTriples-wantEntity)
+	}
+	if len(s.PredFreq) != len(wantFreq) {
+		t.Fatalf("stats PredFreq = %v, scan says %v", s.PredFreq, wantFreq)
+	}
+	for p, n := range wantFreq {
+		if s.PredFreq[p] != n {
+			t.Fatalf("stats PredFreq[%v] = %d, scan says %d", p, s.PredFreq[p], n)
+		}
+	}
+	wantMax := 0
+	for _, d := range outDeg {
+		if d > wantMax {
+			wantMax = d
+		}
+	}
+	if s.MaxOutDegree != wantMax {
+		t.Fatalf("stats MaxOutDegree = %d, scan says %d", s.MaxOutDegree, wantMax)
+	}
+}
+
+// Property: across randomized Assert/Retract/AssertBatch interleavings
+// (with entity and adversarial-literal objects), the predicate-major
+// index agrees exactly with the shard-swept per-shard pos index, and the
+// maintained counters agree with full scans.
+func TestPomMatchesSweepRandomized(t *testing.T) {
+	f := func(ops []uint32, shardBits uint8) bool {
+		g := NewGraphWithShards(1 << (shardBits % 4)) // 1..8 shards
+		const nEnts = 12
+		const nPreds = 5
+		ents := make([]EntityID, nEnts)
+		for i := range ents {
+			id, err := g.AddEntity(Entity{Key: fmt.Sprintf("e%d", i)})
+			if err != nil {
+				return false
+			}
+			ents[i] = id
+		}
+		preds := make([]PredicateID, nPreds)
+		for i := range preds {
+			id, err := g.AddPredicate(Predicate{Name: fmt.Sprintf("p%d", i)})
+			if err != nil {
+				return false
+			}
+			preds[i] = id
+		}
+		objs := pomTestObjects(ents)
+		var pending []Triple
+		for _, op := range ops {
+			tr := Triple{
+				Subject:   ents[int(op)%nEnts],
+				Predicate: preds[int(op>>4)%nPreds],
+				Object:    objs[int(op>>8)%len(objs)],
+			}
+			switch (op >> 16) % 8 {
+			case 0, 1, 2:
+				if err := g.Assert(tr); err != nil {
+					return false
+				}
+			case 3, 4:
+				pending = append(pending, tr)
+			case 5:
+				if _, err := g.AssertBatch(pending); err != nil {
+					return false
+				}
+				pending = pending[:0]
+			default:
+				g.Retract(tr)
+			}
+		}
+		if _, err := g.AssertBatch(pending); err != nil {
+			return false
+		}
+		checkPomAgainstSweep(t, g, preds, objs)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent churn under the race detector: writers interleave
+// Assert/Retract/AssertBatch on overlapping subjects and predicates while
+// readers hammer the pom accessors; when the writers drain, the index
+// must agree with the shard-swept reference.
+func TestPomConcurrentChurn(t *testing.T) {
+	g := NewGraphWithShards(8)
+	const nEnts = 64
+	const nPreds = 6
+	ents := make([]EntityID, nEnts)
+	for i := range ents {
+		id, err := g.AddEntity(Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents[i] = id
+	}
+	preds := make([]PredicateID, nPreds)
+	for i := range preds {
+		id, err := g.AddPredicate(Predicate{Name: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = id
+	}
+	objs := pomTestObjects(ents[:16])
+
+	var done atomic.Bool
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var batch []Triple
+			for i := 0; i < 1500; i++ {
+				tr := Triple{
+					Subject:   ents[rng.Intn(nEnts)],
+					Predicate: preds[rng.Intn(nPreds)],
+					Object:    objs[rng.Intn(len(objs))],
+				}
+				switch rng.Intn(8) {
+				case 0, 1, 2, 3:
+					if err := g.Assert(tr); err != nil {
+						t.Error(err)
+						return
+					}
+				case 4:
+					g.Retract(tr)
+				case 5, 6:
+					batch = append(batch, tr)
+				default:
+					if _, err := g.AssertBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if _, err := g.AssertBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for !done.Load() {
+				p := preds[rng.Intn(nPreds)]
+				o := objs[rng.Intn(len(objs))]
+				_ = g.SubjectsWith(p, o)
+				_ = g.SubjectsWithCount(p, o)
+				_ = g.SubjectsWithSweep(p, o)
+				_ = g.PredicateFrequency(p)
+				g.SubjectsWithFunc(p, o, func(EntityID) bool { return true })
+				if rng.Intn(16) == 0 {
+					_ = ComputeStats(g)
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	done.Store(true)
+	readers.Wait()
+	checkPomAgainstSweep(t, g, preds, objs)
+}
+
+// ValueKey.Value must round-trip identity for every kind, including NaN
+// payloads, signed zeros, and times (as their UTC instant).
+func TestValueKeyRoundTrip(t *testing.T) {
+	vals := []Value{
+		EntityValue(7),
+		StringValue(""),
+		StringValue("a=b;c"),
+		IntValue(-3),
+		IntValue(0),
+		BoolValue(true),
+		BoolValue(false),
+		FloatValue(1.5),
+		FloatValue(math.NaN()),
+		FloatValue(math.Float64frombits(0x7ff8000000000002)),
+		FloatValue(math.Copysign(0, -1)),
+		FloatValue(0),
+		TimeValue(time.Date(1969, 7, 20, 20, 17, 0, 123456789, time.FixedZone("X", -3600))),
+	}
+	for i, v := range vals {
+		k := v.MapKey()
+		rt := k.Value()
+		if rt.MapKey() != k {
+			t.Errorf("case %d: round-trip changed identity: %v -> %v", i, v, rt)
+		}
+		if v.Kind != KindFloat && !rt.Equal(v) {
+			t.Errorf("case %d: round-trip not Equal: %v -> %v", i, v, rt)
+		}
+	}
+	if (ValueKey{}).Value().Kind != 0 {
+		t.Error("zero key must reconstruct the invalid zero Value")
+	}
+}

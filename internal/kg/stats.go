@@ -19,29 +19,45 @@ type Stats struct {
 	MeanOutDegree float64
 }
 
-// ComputeStats scans the graph and returns its summary.
+// ComputeStats summarizes the graph from its maintained counters instead
+// of a full triple scan: predicate frequencies and the entity/literal
+// split come from the predicate-major index's per-predicate totals (one
+// pass over the pom stripes), and out-degrees from the spo index's list
+// lengths (one pass over each shard's subjects, never touching individual
+// triples). Stripes and shards are visited one at a time, so under
+// concurrent writers each counter is exact as of the moment its stripe or
+// shard was read rather than one all-shard cut — the same freshness
+// contract as NumTriples.
 func ComputeStats(g *Graph) Stats {
 	s := Stats{
 		Entities:   g.NumEntities(),
 		Predicates: g.NumPredicates(),
 		PredFreq:   make(map[PredicateID]int),
 	}
-	outDeg := make(map[EntityID]int)
-	g.Triples(func(t Triple) bool {
-		s.Triples++
-		if t.Object.IsEntity() {
-			s.EntityTriples++
-		} else {
-			s.LiteralTriples++
+	for i := range g.pom {
+		st := &g.pom[i]
+		st.mu.RLock()
+		for p, pp := range st.preds {
+			s.PredFreq[p] = pp.total
+			s.Triples += pp.total
+			s.EntityTriples += pp.entityTotal
 		}
-		s.PredFreq[t.Predicate]++
-		outDeg[t.Subject]++
-		return true
-	})
-	for _, d := range outDeg {
-		if d > s.MaxOutDegree {
-			s.MaxOutDegree = d
+		st.mu.RUnlock()
+	}
+	s.LiteralTriples = s.Triples - s.EntityTriples
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for _, bySubj := range sh.spo {
+			d := 0
+			for _, ts := range bySubj {
+				d += len(ts)
+			}
+			if d > s.MaxOutDegree {
+				s.MaxOutDegree = d
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	if s.Entities > 0 {
 		s.MeanOutDegree = float64(s.Triples) / float64(s.Entities)

@@ -155,6 +155,30 @@ func (v Value) MapKey() ValueKey {
 	}
 }
 
+// Value reconstructs the Value the key denotes. The round-trip
+// v.MapKey().Value() preserves identity (MapKey(v) == MapKey of the
+// result) for every kind: float bit patterns (including NaN payloads and
+// signed zeros) survive via the IEEE-754 bits, times come back as the
+// UTC instant of the stored UnixNano. The predicate-major index uses it
+// to enumerate (object, subject) pairs without storing Values twice;
+// reconstructed triples carry no provenance.
+func (k ValueKey) Value() Value {
+	switch k.Kind {
+	case KindEntity:
+		return Value{Kind: KindEntity, Entity: EntityID(k.Num)}
+	case KindString:
+		return Value{Kind: KindString, Str: k.Str}
+	case KindInt, KindBool:
+		return Value{Kind: k.Kind, Num: k.Num}
+	case KindFloat:
+		return Value{Kind: KindFloat, Flt: math.Float64frombits(uint64(k.Num))}
+	case KindTime:
+		return Value{Kind: KindTime, TS: time.Unix(0, k.Num).UTC()}
+	default:
+		return Value{}
+	}
+}
+
 // Compare totally orders value keys (by kind, then numeric payload, then
 // string payload), enabling deterministic sorts without materializing
 // string keys. The order is arbitrary but stable.

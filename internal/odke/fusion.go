@@ -65,11 +65,14 @@ func GroupCandidates(cands []CandidateFact) []ValueGroup {
 	for _, k := range order {
 		out = append(out, *byKey[k])
 	}
+	// Tie-break on the comparable ValueKey, not the rendered Key() string:
+	// the string render is ambiguous for floats (every NaN payload prints
+	// "NaN", ±0.0 print alike) and allocates twice per comparison.
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Candidates) != len(out[j].Candidates) {
 			return len(out[i].Candidates) > len(out[j].Candidates)
 		}
-		return out[i].Value.Key() < out[j].Value.Key()
+		return out[i].Value.MapKey().Compare(out[j].Value.MapKey()) < 0
 	})
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"saga/internal/kg"
 	"saga/saga"
 )
 
@@ -213,6 +214,45 @@ func TestSearchEndpoint(t *testing.T) {
 	rec2, _ := do(t, srv2.Handler(), "GET", "/search?q=x", "")
 	if rec2.Code != http.StatusServiceUnavailable {
 		t.Fatalf("missing index status = %d", rec2.Code)
+	}
+}
+
+// End-to-end adversarial-literal coverage for /query: string objects
+// containing the old binding-render separators ('=', ';', "s:" prefixes,
+// empty strings) must each produce a distinct binding — 2×2 literal
+// combinations means count 4, where the rendered-string dedup collapsed
+// one pair.
+func TestQueryEndpointAdversarialLiterals(t *testing.T) {
+	g := kg.NewGraph()
+	subj, err := g.AddEntity(kg.Entity{Key: "s", Name: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPred, _ := g.AddPredicate(kg.Predicate{Name: "p"})
+	qPred, _ := g.AddPredicate(kg.Predicate{Name: "q"})
+	for _, v := range []string{"a;y=s:b", "a"} {
+		if err := g.Assert(kg.Triple{Subject: subj, Predicate: pPred, Object: kg.StringValue(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []string{"", "b;y=s:"} {
+		if err := g.Assert(kg.Triple{Subject: subj, Predicate: qPred, Object: kg.StringValue(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := New(saga.New(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"clauses":[
+		{"subject":{"key":"s"},"predicate":"p","object":{"var":"x"}},
+		{"subject":{"key":"s"},"predicate":"q","object":{"var":"y"}}]}`
+	rec, resp := do(t, srv.Handler(), "POST", "/query", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, resp)
+	}
+	if count := int(resp["count"].(float64)); count != 4 {
+		t.Fatalf("adversarial-literal bindings = %d, want 4 (distinct literal pairs)", count)
 	}
 }
 

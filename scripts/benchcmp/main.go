@@ -1,7 +1,7 @@
 // Command benchcmp compares two BENCH_<date>.json snapshots produced by
 // scripts/bench.sh and fails (exit 1) when any benchmark matching the
 // filter regressed in ns/op beyond the threshold. It is the regression
-// gate behind `scripts/bench.sh --check`: the E1–E12 experiment suite is
+// gate behind `scripts/bench.sh --check`: the E1–E13 experiment suite is
 // the paper's price/performance surface, so a >20% slowdown in any of
 // them should stop a PR, while new or removed benchmarks are reported but
 // never fail the check.
@@ -57,7 +57,7 @@ func load(path string) (map[string]entry, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 1.20, "fail when new/old ns/op exceeds this ratio")
-	filter := flag.String("filter", `^BenchmarkE([1-9]|1[0-2])([^0-9]|$)`, "regexp of benchmark names the gate applies to")
+	filter := flag.String("filter", `^BenchmarkE([1-9]|1[0-3])([^0-9]|$)`, "regexp of benchmark names the gate applies to")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold r] [-filter re] old.json new.json")
