@@ -466,6 +466,103 @@ func BenchmarkE13Conjunctive(b *testing.B) {
 	})
 }
 
+// BenchmarkE14QueryStream measures what the streaming query API buys the
+// serving path: a limit=10 conjunctive query over a skewed graph where
+// the answer set is wide (every hot-team member also won the award, so
+// thousands of bindings satisfy the conjunction). The "stream" case
+// pushes the limit into the solver (StreamConjunctive stops probing after
+// ten rows); the "materialize" case replays the pre-streaming strategy —
+// QueryConjunctive solves, dedups, and sorts the full answer set, then
+// the caller keeps the first ten. Report-only per the E14+ convention.
+func BenchmarkE14QueryStream(b *testing.B) {
+	g := kg.NewGraphWithShards(64)
+	add := func(key string) kg.EntityID {
+		id, err := g.AddEntity(kg.Entity{Key: key})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return id
+	}
+	member, _ := g.AddPredicate(kg.Predicate{Name: "memberOf"})
+	awardP, _ := g.AddPredicate(kg.Predicate{Name: "award"})
+	follows, _ := g.AddPredicate(kg.Predicate{Name: "follows"})
+	const nPeople = 8192
+	const nTeams = 64
+	teams := make([]kg.EntityID, nTeams)
+	for i := range teams {
+		teams[i] = add(fmt.Sprintf("team%d", i))
+	}
+	prize := add("prize")
+	people := make([]kg.EntityID, nPeople)
+	for i := range people {
+		people[i] = add(fmt.Sprintf("p%d", i))
+	}
+	batch := make([]kg.Triple, 0, nPeople*7)
+	for i, p := range people {
+		// Half the people pile onto the hot team 0, the rest spread across
+		// the other teams; every hot-team member holds the award, so the
+		// queried conjunction has ~4096 answers.
+		ti := 0
+		if i%2 == 1 {
+			ti = 1 + (i/2)%(nTeams-1)
+		}
+		batch = append(batch, kg.Triple{Subject: p, Predicate: member, Object: kg.EntityValue(teams[ti])})
+		if ti == 0 || i%7 == 0 {
+			batch = append(batch, kg.Triple{Subject: p, Predicate: awardP, Object: kg.EntityValue(prize)})
+		}
+		for j := 1; j <= 4; j++ {
+			batch = append(batch, kg.Triple{Subject: p, Predicate: follows, Object: kg.EntityValue(people[(i+j*131)%nPeople])})
+		}
+	}
+	if _, err := g.AssertBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	eng := graphengine.New(g)
+	clauses := []graphengine.Clause{
+		{Subject: graphengine.V("p"), Predicate: member, Object: graphengine.CE(teams[0])},
+		{Subject: graphengine.V("p"), Predicate: awardP, Object: graphengine.CE(prize)},
+	}
+	const limit = 10
+
+	// Correctness pins: the limited stream yields exactly limit rows and
+	// the materialized solve finds the full wide answer set.
+	full, err := eng.QueryConjunctive(clauses)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(full) != nPeople/2 {
+		b.Fatalf("full solve = %d bindings, want %d", len(full), nPeople/2)
+	}
+
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, err := range eng.StreamConjunctive(clauses, graphengine.QueryOptions{Limit: limit}) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			if n != limit {
+				b.Fatalf("stream yielded %d rows, want %d", n, limit)
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := eng.QueryConjunctive(clauses)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) < limit {
+				b.Fatalf("materialized solve = %d rows, want >= %d", len(res), limit)
+			}
+			res = res[:limit]
+			_ = res
+		}
+	})
+}
+
 // BenchmarkGraphAssert measures raw triple ingestion.
 func BenchmarkGraphAssert(b *testing.B) {
 	g := kg.NewGraph()

@@ -1,7 +1,19 @@
 // Command kgserve stands up the knowledge-serving HTTP API (Fig 1's
 // serving layer) over a synthetic world: it generates a KG, trains
 // embeddings, builds the annotation service and a web-search index, and
-// serves /health, /entity, /annotate, /rank, /verify, /related, /search.
+// serves /health, /entity, /annotate, /rank, /verify, /related, /search,
+// and the conjunctive-query endpoint POST /query.
+//
+// /query streams: the body is {"clauses": [...], "limit": N,
+// "cursor": "..."} (limit defaults to 1000 and is capped; bodies over
+// 1 MiB or 32 clauses are rejected), the solve stops as soon as the page
+// is full or the client disconnects, and the response's "next_cursor"
+// token fetches the next page:
+//
+//	curl -s localhost:8080/query -d '{
+//	  "clauses": [{"subject": {"var": "p"}, "predicate": "memberOf",
+//	               "object": {"key": "team0"}}],
+//	  "limit": 10}'
 //
 // Usage:
 //
@@ -47,7 +59,7 @@ func main() {
 	occ := w.Preds["occupation"]
 	var pos, neg [][3]uint32
 	for _, person := range w.People {
-		for _, f := range w.Graph.Facts(person, occ) {
+		for f := range w.Graph.FactsSeq(person, occ) {
 			pos = append(pos, [3]uint32{uint32(person), uint32(occ), uint32(f.Object.Entity)})
 		}
 		other := w.People[(int(person)+7)%len(w.People)]

@@ -9,6 +9,7 @@
 package embedserve
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -158,6 +159,16 @@ type RankedFact struct {
 // score, most plausible first — the Fig 2 fact-ranking application ("LeBron
 // James, Occupation, ?" → Basketball Player before Screenwriter).
 func (s *Service) RankFacts(subject kg.EntityID, predicate kg.PredicateID) ([]RankedFact, error) {
+	return s.RankFactsContext(context.Background(), subject, predicate)
+}
+
+// RankFactsContext is RankFacts with cancellation: the scoring loop
+// checks ctx periodically so a disconnected serving client stops burning
+// model inference. Candidate facts stream off the graph's index (only
+// entity-valued facts in the embedding space are kept) instead of copying
+// the whole fact slice first; scoring runs after the index lock is
+// released.
+func (s *Service) RankFactsContext(ctx context.Context, subject kg.EntityID, predicate kg.PredicateID) ([]RankedFact, error) {
 	h, ok := s.dataset.EntityIndex(subject)
 	if !ok {
 		return nil, fmt.Errorf("embedserve: subject %v not in embedding space", subject)
@@ -166,9 +177,14 @@ func (s *Service) RankFacts(subject kg.EntityID, predicate kg.PredicateID) ([]Ra
 	if !ok {
 		return nil, fmt.Errorf("embedserve: predicate %v not in embedding space", predicate)
 	}
-	facts := s.graph.Facts(subject, predicate)
-	out := make([]RankedFact, 0, len(facts))
-	for _, f := range facts {
+	type candidate struct {
+		t    kg.Triple
+		tIdx int32
+	}
+	// The count is a capacity hint only (a writer may land between the two
+	// lock acquisitions); the streamed read below is the enumeration.
+	cands := make([]candidate, 0, s.graph.FactCount(subject, predicate))
+	for f := range s.graph.FactsSeq(subject, predicate) {
 		if !f.Object.IsEntity() {
 			continue
 		}
@@ -176,7 +192,22 @@ func (s *Service) RankFacts(subject kg.EntityID, predicate kg.PredicateID) ([]Ra
 		if !ok {
 			continue
 		}
-		out = append(out, RankedFact{Triple: f, Score: s.model.Score(h, r, tIdx)})
+		cands = append(cands, candidate{t: f, tIdx: tIdx})
+	}
+	cancellable := ctx.Done() != nil
+	out := make([]RankedFact, 0, len(cands))
+	for i, c := range cands {
+		if cancellable && i&255 == 255 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, RankedFact{Triple: c.t, Score: s.model.Score(h, r, c.tIdx)})
+	}
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -230,6 +261,15 @@ type ScoredEntity struct {
 // the fallback's scores agree with Similarity instead of mixing a
 // normalized query with unnormalized stored vectors.
 func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error) {
+	return s.RelatedEntitiesContext(context.Background(), id, k)
+}
+
+// RelatedEntitiesContext is RelatedEntities with cancellation: the kNN
+// scan's candidate filter checks ctx periodically, so a disconnected
+// client's scan degenerates to cheap row skips instead of dot products,
+// and a result computed under a cancelled context is discarded rather
+// than cached.
+func (s *Service) RelatedEntitiesContext(ctx context.Context, id kg.EntityID, k int) ([]ScoredEntity, error) {
 	// Load the walk installation once and use it consistently below: a
 	// concurrent SetWalkEmbeddings must not swap the index out from under
 	// the vector lookup.
@@ -251,6 +291,7 @@ func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error)
 	}
 	s.relMu.RUnlock()
 
+	keep := cancellableKeep(ctx, func(cand uint64) bool { return cand != uint64(id) })
 	var out []ScoredEntity
 	if walk != nil {
 		v, ok := walk.vecs[id]
@@ -259,15 +300,20 @@ func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error)
 		}
 		// Walk vectors are unit-normalized at training time, so inner
 		// product already equals cosine here.
-		res := walk.idx.SearchFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+		res := walk.idx.SearchFiltered(v, k+1, keep)
 		out = toScored(res, k)
 	} else {
 		v, ok := s.entIndex.Get(uint64(id))
 		if !ok {
 			return nil, fmt.Errorf("embedserve: entity %v not in embedding space", id)
 		}
-		res := s.entIndex.SearchCosineFiltered(v, k+1, func(cand uint64) bool { return cand != uint64(id) })
+		res := s.entIndex.SearchCosineFiltered(v, k+1, keep)
 		out = toScored(res, k)
+	}
+	if err := ctx.Err(); err != nil {
+		// A cancelled scan skipped candidates; its result is partial and
+		// must be neither cached nor returned.
+		return nil, err
 	}
 
 	s.relMu.Lock()
@@ -301,6 +347,30 @@ func (s *Service) RelatedEntities(id kg.EntityID, k int) ([]ScoredEntity, error)
 // primitive (query embedding vs cached entity embeddings, §3.2).
 func (s *Service) NearestByVector(q vecindex.Vector, k int) []ScoredEntity {
 	return toScored(s.entIndex.Search(q, k), k)
+}
+
+// cancellableKeep wraps a kNN candidate filter so that once ctx is
+// cancelled every remaining row is rejected before its similarity is
+// computed: the scan still walks the row index to completion but does no
+// further floating-point work. ctx is polled every 512 candidates to keep
+// the filter's own cost off the scan kernel. A never-cancelled context
+// (Background) keeps the filter unwrapped.
+func cancellableKeep(ctx context.Context, keep func(uint64) bool) func(uint64) bool {
+	if ctx.Done() == nil {
+		return keep
+	}
+	n := 0
+	cancelled := false
+	return func(cand uint64) bool {
+		if cancelled {
+			return false
+		}
+		if n++; n&511 == 0 && ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
+		return keep(cand)
+	}
 }
 
 func toScored(res []vecindex.Result, k int) []ScoredEntity {

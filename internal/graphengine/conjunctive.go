@@ -1,9 +1,7 @@
 package graphengine
 
 import (
-	"fmt"
 	"slices"
-	"sort"
 
 	"saga/internal/kg"
 )
@@ -14,7 +12,9 @@ import (
 // clauses over variables and constants; evaluation is a selectivity-
 // ordered nested-loop join with binding propagation, which is how the
 // Saga graph engine's retrieval path behaves for small conjunctive
-// patterns.
+// patterns. The solver itself streams (see StreamConjunctive in
+// stream.go); QueryConjunctive below is the materializing compatibility
+// shim.
 
 // Term is one position of a clause: either a variable (Var != "") or a
 // constant. Subject terms must be entities; object terms may be any
@@ -48,64 +48,40 @@ type Clause struct {
 type Binding map[string]kg.Value
 
 // QueryConjunctive evaluates the conjunction and returns all satisfying
-// bindings. Duplicate bindings are collapsed and the result order is
-// deterministic; both identity and order are defined by the bindings'
-// kg.ValueKey tuples in sorted-variable order, never by rendered strings
-// (a string encoding let adversarial literals containing the separator
-// characters collide distinct bindings).
-//
-// Evaluation re-picks the cheapest unresolved clause at every join depth
-// from the current partial binding, so the join order adapts as variables
-// bind — affordable because the cost probes are counter lookups on the
-// graph's predicate-major index, not materialized result slices.
+// bindings. It is a collect-and-sort shim over StreamConjunctive, kept
+// for callers (and tests) that pin the sorted order: the stream already
+// collapses duplicates on the bindings' kg.ValueKey tuples in sorted-
+// variable order, and this shim additionally sorts the collected rows by
+// those same tuples, so both identity and order are defined by comparable
+// keys, never by rendered strings. Callers that do not need every row
+// sorted should consume StreamConjunctive directly and push their limit
+// into the solve.
 func (e *Engine) QueryConjunctive(clauses []Clause) ([]Binding, error) {
-	for i, c := range clauses {
-		if c.Subject.Var == "" && !c.Subject.Const.IsEntity() {
-			return nil, fmt.Errorf("graphengine: clause %d: constant subject must be an entity", i)
-		}
-		if c.Predicate == kg.NoPredicate {
-			return nil, fmt.Errorf("graphengine: clause %d: predicate required", i)
-		}
-	}
-	// Canonical variable order: every leaf binding is materialized as the
-	// tuple of its values in this order, which is what dedup and result
-	// ordering compare.
-	var vars []string
-	for _, c := range clauses {
-		for _, t := range [2]Term{c.Subject, c.Object} {
-			if t.Var != "" && !slices.Contains(vars, t.Var) {
-				vars = append(vars, t.Var)
-			}
-		}
-	}
-	sort.Strings(vars)
-
-	s := solver{
-		e:       e,
-		vars:    vars,
-		clauses: append([]Clause(nil), clauses...),
-		bound:   make(Binding, len(vars)),
-	}
-	s.solve(0)
-
-	// Deterministic order + dedup on the comparable key tuples.
-	order := make([]int, len(s.rows))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		return compareKeyRows(s.keys[order[a]], s.keys[order[b]]) < 0
-	})
-	out := make([]Binding, 0, len(s.rows))
-	for i, idx := range order {
-		if i > 0 && compareKeyRows(s.keys[order[i-1]], s.keys[idx]) == 0 {
-			continue
-		}
-		b := make(Binding, len(vars))
-		for j, name := range vars {
-			b[name] = s.rows[idx][j]
+	var out []Binding
+	for b, err := range e.StreamConjunctive(clauses, QueryOptions{}) {
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, b)
+	}
+	// Deterministic order on the comparable key tuples (the stream has
+	// already deduplicated on them).
+	vars := queryVars(clauses)
+	type keyedBinding struct {
+		b   Binding
+		key []kg.ValueKey
+	}
+	rows := make([]keyedBinding, len(out))
+	for i, b := range out {
+		row := make([]kg.ValueKey, len(vars))
+		for j, name := range vars {
+			row[j] = b[name].MapKey()
+		}
+		rows[i] = keyedBinding{b: b, key: row}
+	}
+	slices.SortFunc(rows, func(a, b keyedBinding) int { return compareKeyRows(a.key, b.key) })
+	for i, r := range rows {
+		out[i] = r.b
 	}
 	return out, nil
 }
@@ -121,93 +97,6 @@ func compareKeyRows(a, b []kg.ValueKey) int {
 	return 0
 }
 
-// solver carries the state of one QueryConjunctive evaluation: the
-// in-place reorderable clause list, the mutable partial binding, and the
-// accumulated result rows with their comparable key tuples.
-type solver struct {
-	e       *Engine
-	vars    []string
-	clauses []Clause
-	bound   Binding
-	rows    [][]kg.Value
-	keys    [][]kg.ValueKey
-}
-
-// solve evaluates clauses[idx:] under the current binding: it swaps the
-// clause with the smallest estimated extension to position idx (cost
-// re-estimated at every depth from the variables bound so far),
-// enumerates its matches, and recurses. At a leaf every variable is
-// bound; the binding is captured as a value row plus its key tuple.
-func (s *solver) solve(idx int) {
-	if idx == len(s.clauses) {
-		row := make([]kg.Value, len(s.vars))
-		keys := make([]kg.ValueKey, len(s.vars))
-		for i, name := range s.vars {
-			v := s.bound[name]
-			row[i] = v
-			keys[i] = v.MapKey()
-		}
-		s.rows = append(s.rows, row)
-		s.keys = append(s.keys, keys)
-		return
-	}
-	best := idx
-	bestCost := s.e.estimate(s.clauses[idx], s.bound)
-	for j := idx + 1; j < len(s.clauses); j++ {
-		if cost := s.e.estimate(s.clauses[j], s.bound); cost < bestCost {
-			best, bestCost = j, cost
-		}
-	}
-	s.clauses[idx], s.clauses[best] = s.clauses[best], s.clauses[idx]
-	chosen := s.clauses[idx]
-
-	// Fully resolved clause: a single membership check, no candidate
-	// slice and no bindings to roll back. The lookup is SPO identity
-	// (like every constant-object index path); a var-bound object then
-	// re-applies the join's Equal semantics, so a NaN-valued binding is
-	// pruned here exactly as bindVar prunes it on the general path.
-	if sv, sBound := resolve(chosen.Subject, s.bound); sBound {
-		if ov, oBound := resolve(chosen.Object, s.bound); oBound {
-			if s.e.g.HasFact(sv.Entity, chosen.Predicate, ov) &&
-				(chosen.Object.Var == "" || ov.Equal(ov)) {
-				s.solve(idx + 1)
-			}
-			return
-		}
-	}
-
-	for _, t := range s.e.expand(chosen, s.bound) {
-		// A clause binds at most two variables; track them in a fixed
-		// array so each match costs no bookkeeping allocations.
-		var added [2]string
-		n := 0
-		ok := s.bindVar(chosen.Subject.Var, kg.EntityValue(t.Subject), &added, &n) &&
-			s.bindVar(chosen.Object.Var, t.Object, &added, &n)
-		if ok {
-			s.solve(idx + 1)
-		}
-		for i := 0; i < n; i++ {
-			delete(s.bound, added[i])
-		}
-	}
-}
-
-// bindVar extends the partial binding with name=val, reporting false on a
-// conflict with an existing binding (Equal semantics, matching the join).
-// Newly bound names are recorded in added for rollback.
-func (s *solver) bindVar(name string, val kg.Value, added *[2]string, n *int) bool {
-	if name == "" {
-		return true
-	}
-	if existing, has := s.bound[name]; has {
-		return existing.Equal(val)
-	}
-	s.bound[name] = val
-	added[*n] = name
-	*n++
-	return true
-}
-
 // resolve substitutes the binding into a term, returning the concrete
 // value and whether the term is now constant.
 func resolve(t Term, bound Binding) (kg.Value, bool) {
@@ -219,53 +108,82 @@ func resolve(t Term, bound Binding) (kg.Value, bool) {
 }
 
 // estimate approximates how many triples expanding the clause would
+// enumerate under the binding (kept as a method for the planner tests;
+// the solver calls estimateOn).
+func (e *Engine) estimate(c Clause, bound Binding) int {
+	return estimateOn(e.g, c, bound)
+}
+
+// estimateOn approximates how many triples expanding the clause would
 // enumerate under the binding. Every arm is a counter lookup (FactCount,
 // SubjectsWithCount, PredicateFrequency) — no result slice is ever
 // materialized for cost estimation, so the planner can afford to
 // re-estimate at every join depth.
-func (e *Engine) estimate(c Clause, bound Binding) int {
+func estimateOn(g conjGraph, c Clause, bound Binding) int {
 	s, sBound := resolve(c.Subject, bound)
 	o, oBound := resolve(c.Object, bound)
 	switch {
 	case sBound && oBound:
 		return 1
 	case sBound:
-		return e.g.FactCount(s.Entity, c.Predicate) + 1
+		return g.FactCount(s.Entity, c.Predicate) + 1
 	case oBound:
-		return e.g.SubjectsWithCount(c.Predicate, o) + 1
+		return g.SubjectsWithCount(c.Predicate, o) + 1
 	default:
-		return e.g.PredicateFrequency(c.Predicate) + 2
+		return g.PredicateFrequency(c.Predicate) + 2
 	}
 }
 
-// expand enumerates the triples matching the clause under the binding.
-// Bound-object clauses read one posting list from the predicate-major
-// index instead of sweeping every subject shard.
-func (e *Engine) expand(c Clause, bound Binding) []kg.Triple {
+// expandAppend appends the triples matching the clause under the binding
+// to buf and returns it. Candidates are copied out under the index locks
+// (one consistent read per index touched) so the caller can enumerate and
+// recurse lock-free. Bound-object clauses read one posting list from the
+// predicate-major index instead of sweeping every subject shard; unbound
+// clauses enumerate the predicate's postings and are sorted into
+// (subject, object key) order, because the underlying map iteration is
+// the one candidate source with no inherent deterministic order and the
+// stream order must be reproducible for cursors.
+func expandAppend(g conjGraph, c Clause, bound Binding, buf []kg.Triple) []kg.Triple {
 	s, sBound := resolve(c.Subject, bound)
 	o, oBound := resolve(c.Object, bound)
 	switch {
 	case sBound && oBound:
-		if e.g.HasFact(s.Entity, c.Predicate, o) {
-			return []kg.Triple{{Subject: s.Entity, Predicate: c.Predicate, Object: o}}
+		if g.HasFact(s.Entity, c.Predicate, o) {
+			buf = append(buf, kg.Triple{Subject: s.Entity, Predicate: c.Predicate, Object: o})
 		}
-		return nil
+		return buf
 	case sBound:
-		return e.g.Facts(s.Entity, c.Predicate)
-	case oBound:
-		// The count is only a capacity hint: the streaming read below is
-		// the single consistent enumeration (a writer may land between
-		// the two stripe acquisitions, so never truncate at the hint).
-		out := make([]kg.Triple, 0, e.g.SubjectsWithCount(c.Predicate, o))
-		e.g.SubjectsWithFunc(c.Predicate, o, func(sub kg.EntityID) bool {
-			out = append(out, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: o})
+		g.FactsFunc(s.Entity, c.Predicate, func(t kg.Triple) bool {
+			buf = append(buf, t)
 			return true
 		})
-		if len(out) == 0 {
-			return nil
-		}
-		return out
+		return buf
+	case oBound:
+		// The count is only a capacity hint: the streaming read below is
+		// the single consistent enumeration (a writer may land between the
+		// two stripe acquisitions, so never truncate at the hint).
+		buf = slices.Grow(buf, g.SubjectsWithCount(c.Predicate, o))
+		g.SubjectsWithFunc(c.Predicate, o, func(sub kg.EntityID) bool {
+			buf = append(buf, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: o})
+			return true
+		})
+		return buf
 	default:
-		return e.Query(Pattern{Predicate: P(c.Predicate)})
+		start := len(buf)
+		g.PredicateEntriesFunc(c.Predicate, func(obj kg.Value, subj kg.EntityID) bool {
+			buf = append(buf, kg.Triple{Subject: subj, Predicate: c.Predicate, Object: obj})
+			return true
+		})
+		ext := buf[start:]
+		slices.SortFunc(ext, func(a, b kg.Triple) int {
+			if a.Subject != b.Subject {
+				if a.Subject < b.Subject {
+					return -1
+				}
+				return 1
+			}
+			return a.Object.MapKey().Compare(b.Object.MapKey())
+		})
+		return buf
 	}
 }

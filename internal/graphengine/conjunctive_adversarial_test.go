@@ -117,6 +117,34 @@ func checkAgainstNaive(t *testing.T, g *kg.Graph, clauses []Clause, wantCount in
 			t.Fatalf("binding %d = %v, naive reference disagrees", i, b)
 		}
 	}
+
+	// The streaming surface must agree with the naive reference too: same
+	// dedup (the adversarial literals must not collapse distinct rows, nor
+	// duplicate any), same count, order-independent. Identity compares on
+	// the collision-free encoded key tuples.
+	naiveSet := make(map[string]bool, len(want))
+	for _, row := range want {
+		naiveSet[EncodeCursor(row)] = true
+	}
+	streamed := 0
+	streamSeen := make(map[string]bool, len(want))
+	for b, err := range e.StreamConjunctive(clauses, QueryOptions{}) {
+		if err != nil {
+			t.Fatalf("StreamConjunctive: %v", err)
+		}
+		tok := EncodeCursor(BindingKey(b))
+		if streamSeen[tok] {
+			t.Fatalf("StreamConjunctive yielded a duplicate binding: %v", b)
+		}
+		streamSeen[tok] = true
+		if !naiveSet[tok] {
+			t.Fatalf("StreamConjunctive yielded a binding the naive reference lacks: %v", b)
+		}
+		streamed++
+	}
+	if streamed != len(want) {
+		t.Fatalf("StreamConjunctive = %d bindings, naive reference = %d", streamed, len(want))
+	}
 }
 
 // Distinct bindings whose string renders collide: with the old

@@ -25,70 +25,18 @@ func P(id kg.PredicateID) *kg.PredicateID { return &id }
 func O(v kg.Value) *kg.Value { return &v }
 
 // Query returns all triples matching the pattern, choosing the cheapest
-// index for the bound positions. Filtered cases stream candidates under
-// the graph's read lock (FactsFunc/OutgoingFunc/IncomingFunc) instead of
-// copying index slices that are immediately discarded.
+// index for the bound positions. It is the collect shim over Stream, kept
+// for callers that want a detached slice; consumers that filter, join, or
+// stop early should range over Stream/StreamPattern instead and pay only
+// for the rows they take. Predicate-bound paths read the predicate-major
+// index and carry no provenance (see QueryOptions.Provenance for the
+// stored-triple route).
 func (e *Engine) Query(p Pattern) []kg.Triple {
-	g := e.g
-	switch {
-	case p.Subject != nil && p.Predicate != nil:
-		if p.Object == nil {
-			return g.Facts(*p.Subject, *p.Predicate)
-		}
-		var out []kg.Triple
-		g.FactsFunc(*p.Subject, *p.Predicate, func(t kg.Triple) bool {
-			if t.Object.Equal(*p.Object) {
-				out = append(out, t)
-			}
-			return true
-		})
-		return out
-	case p.Subject != nil:
-		if p.Object == nil {
-			return g.Outgoing(*p.Subject)
-		}
-		var out []kg.Triple
-		g.OutgoingFunc(*p.Subject, func(t kg.Triple) bool {
-			if t.Object.Equal(*p.Object) {
-				out = append(out, t)
-			}
-			return true
-		})
-		return out
-	case p.Predicate != nil && p.Object != nil:
-		subs := g.SubjectsWith(*p.Predicate, *p.Object)
-		out := make([]kg.Triple, 0, len(subs))
-		for _, s := range subs {
-			out = append(out, kg.Triple{Subject: s, Predicate: *p.Predicate, Object: *p.Object})
-		}
-		return out
-	case p.Object != nil && p.Object.IsEntity():
-		// The P+O case above has already captured patterns with a bound
-		// predicate, so only the bare incoming-edge scan remains here.
-		return g.Incoming(p.Object.Entity)
-	case p.Predicate != nil:
-		// Predicate-only: enumerate the predicate's posting lists from the
-		// predicate-major index instead of scanning every triple. Like the
-		// P+O index path, the reconstructed triples carry no provenance.
-		var out []kg.Triple
-		g.PredicateEntriesFunc(*p.Predicate, func(obj kg.Value, subj kg.EntityID) bool {
-			out = append(out, kg.Triple{Subject: subj, Predicate: *p.Predicate, Object: obj})
-			return true
-		})
-		return out
-	default:
-		// Nothing bound, or only a literal object: full scan with the
-		// residual object filter.
-		var out []kg.Triple
-		g.Triples(func(t kg.Triple) bool {
-			if p.Object != nil && !t.Object.Equal(*p.Object) {
-				return true
-			}
-			out = append(out, t)
-			return true
-		})
-		return out
+	var out []kg.Triple
+	for t := range e.Stream(p) {
+		out = append(out, t)
 	}
+	return out
 }
 
 // Neighbors returns the distinct entities adjacent to id via entity-valued
@@ -191,9 +139,13 @@ func pprDense(snap *AdjacencySnapshot, source kg.EntityID, alpha float64, iters 
 }
 
 func pprSparse(snap *AdjacencySnapshot, source kg.EntityID, alpha float64, iters int) map[kg.EntityID]float64 {
+	// Two maps swapped and cleared per iteration, mirroring pprDense's
+	// array swap: allocating a fresh next map every iteration made the
+	// sparse path's allocation cost scale with iters × frontier size.
 	rank := map[kg.EntityID]float64{source: 1}
+	next := make(map[kg.EntityID]float64, 8)
 	for it := 0; it < iters; it++ {
-		next := make(map[kg.EntityID]float64, len(rank))
+		clear(next)
 		next[source] += alpha
 		for u, r := range rank {
 			row := snap.Neighbors(u)
@@ -206,7 +158,7 @@ func pprSparse(snap *AdjacencySnapshot, source kg.EntityID, alpha float64, iters
 				next[v] += share
 			}
 		}
-		rank = next
+		rank, next = next, rank
 	}
 	return rank
 }

@@ -1,0 +1,520 @@
+package graphengine
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"iter"
+	"slices"
+	"sort"
+	"time"
+
+	"saga/internal/kg"
+)
+
+// Streaming query surface. The slice-returning Query/QueryConjunctive
+// APIs solve the whole answer set before the caller sees the first row —
+// fine for training views, hostile for serving, where a caller wanting
+// ten rows should pay for ten rows. This layer redesigns the query
+// surface around Go 1.24 iterators: Stream and StreamConjunctive yield
+// results as the planner produces them, so a limit terminates the solve
+// early, context cancellation aborts a join mid-flight, and an opaque
+// cursor resumes enumeration where the previous page stopped (the
+// "enumeration with bounded delay" serving contract — evaluation cost
+// tracks output consumed, not output possible). The slice APIs remain as
+// collect-and-sort shims over this layer.
+
+// QueryOptions configure one streaming query. The zero value streams the
+// full answer set with no deadline. One options struct serves every
+// planner entry point (StreamConjunctive, StreamPattern, and the
+// platform/HTTP layers above them).
+type QueryOptions struct {
+	// Limit stops the solve after this many rows have been yielded
+	// (<= 0 = unlimited). Unlike truncating a materialized result, the
+	// limit is pushed into the solver: enumeration stops probing as soon
+	// as the last row is out.
+	Limit int
+
+	// Cursor resumes a conjunctive enumeration after the row with this
+	// key tuple (the binding's values in sorted-variable order — see
+	// BindingKey). Rows up to and including the cursor row are re-derived
+	// and skipped, so a page costs O(rows before it) — resumption relies
+	// on the stream's deterministic order and is exact while the graph is
+	// unchanged; mutations in between may shift page boundaries. A cursor
+	// naming a row that no longer exists yields an empty remainder.
+	Cursor []kg.ValueKey
+
+	// Provenance selects stored-triple enumeration for pattern queries.
+	// By default the predicate-bound pattern paths (predicate-only and
+	// predicate+object) read the predicate-major index, whose postings
+	// reconstruct objects from identity keys — those triples carry no
+	// Prov (the planner expansion has always been provenance-free there).
+	// Setting Provenance routes these two paths through the full stored-
+	// triple scan instead: every yielded triple carries its provenance,
+	// at full-scan cost. Match semantics are unchanged (SPO identity).
+	// Conjunctive bindings map variables to values, which carry no
+	// provenance either way, so the flag is a no-op for
+	// StreamConjunctive.
+	Provenance bool
+
+	// Timeout bounds the solve's wall-clock time (0 = none). It is
+	// implemented as a context deadline layered over Context.
+	Timeout time.Duration
+
+	// Context aborts the solve when cancelled (nil = never). The stream
+	// yields the context error as its final element.
+	Context context.Context
+}
+
+// conjGraph is the read surface the conjunctive solver touches. It is an
+// interface so tests can interpose a counting wrapper and pin how much of
+// the graph a limited solve actually probes; *kg.Graph implements it.
+type conjGraph interface {
+	FactCount(kg.EntityID, kg.PredicateID) int
+	SubjectsWithCount(kg.PredicateID, kg.Value) int
+	PredicateFrequency(kg.PredicateID) int
+	HasFact(kg.EntityID, kg.PredicateID, kg.Value) bool
+	FactsFunc(kg.EntityID, kg.PredicateID, func(kg.Triple) bool)
+	SubjectsWithFunc(kg.PredicateID, kg.Value, func(kg.EntityID) bool)
+	PredicateEntriesFunc(kg.PredicateID, func(kg.Value, kg.EntityID) bool)
+}
+
+// StreamConjunctive evaluates the conjunction and yields satisfying
+// bindings as the nested-loop join produces them. Duplicates are
+// collapsed on the fly (a seen-set of the bindings' ValueKey tuples in
+// sorted-variable order, never rendered strings), so each distinct
+// binding is yielded exactly once; the seen-set grows with the distinct
+// rows enumerated, which a Limit bounds.
+//
+// # Order
+//
+// The stream order is the planner's depth-first order and it is
+// deterministic for a fixed graph state: clauses are re-planned at every
+// join depth from counter estimates (ties keep the earlier clause), and
+// the candidates of each expansion enumerate in index (assertion) order —
+// except unbound-clause expansions, which are map-backed and therefore
+// sorted by (subject, object key) before enumeration. The same graph and
+// query always stream the same sequence, which is what Cursor resumption
+// relies on. The order is NOT the sorted order of QueryConjunctive; that
+// shim sorts after collecting.
+//
+// Candidate expansion is buffered per join node (candidates are copied
+// out under the index locks, then enumerated lock-free), so yields run
+// with no graph locks held — the consumer may freely read the graph or
+// block — and the delay between consecutive yields is bounded by one
+// node's fan-out, not the result size.
+//
+// Errors (clause validation, cursor shape, context cancellation) are
+// yielded as the final (nil, err) element; rows always carry a nil error.
+func (e *Engine) StreamConjunctive(clauses []Clause, opts QueryOptions) iter.Seq2[Binding, error] {
+	return streamConjunctive(e.g, clauses, opts)
+}
+
+// streamConjunctive is StreamConjunctive over the solver's graph
+// interface (tests interpose counting wrappers here).
+func streamConjunctive(g conjGraph, clauses []Clause, opts QueryOptions) iter.Seq2[Binding, error] {
+	return func(yield func(Binding, error) bool) {
+		for i, c := range clauses {
+			if c.Subject.Var == "" && !c.Subject.Const.IsEntity() {
+				yield(nil, fmt.Errorf("graphengine: clause %d: constant subject must be an entity", i))
+				return
+			}
+			if c.Predicate == kg.NoPredicate {
+				yield(nil, fmt.Errorf("graphengine: clause %d: predicate required", i))
+				return
+			}
+		}
+		vars := queryVars(clauses)
+		if len(opts.Cursor) > 0 && len(opts.Cursor) != len(vars) {
+			yield(nil, fmt.Errorf("graphengine: cursor has %d values, query has %d variables", len(opts.Cursor), len(vars)))
+			return
+		}
+		ctx := opts.Context
+		if opts.Timeout > 0 {
+			base := ctx
+			if base == nil {
+				base = context.Background()
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(base, opts.Timeout)
+			defer cancel()
+		}
+		s := &streamSolver{
+			g:       g,
+			vars:    vars,
+			clauses: slices.Clone(clauses),
+			bound:   make(Binding, len(vars)),
+			bufs:    make([][]kg.Triple, len(clauses)),
+			keys:    make([]kg.ValueKey, len(vars)),
+			seen:    make(map[string]struct{}),
+			limit:   opts.Limit,
+			ctx:     ctx,
+			yield:   yield,
+		}
+		if len(opts.Cursor) > 0 {
+			s.cursor = string(appendKeyTuple(nil, opts.Cursor))
+			s.skipping = true
+		}
+		s.solve(0)
+		if s.err != nil {
+			yield(nil, s.err)
+		}
+	}
+}
+
+// queryVars returns the query's variable names, sorted — the canonical
+// order of every binding's key tuple (dedup, result sort, cursors).
+func queryVars(clauses []Clause) []string {
+	var vars []string
+	for _, c := range clauses {
+		for _, t := range [2]Term{c.Subject, c.Object} {
+			if t.Var != "" && !slices.Contains(vars, t.Var) {
+				vars = append(vars, t.Var)
+			}
+		}
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// streamSolver carries the state of one StreamConjunctive evaluation: the
+// in-place reorderable clause list, the mutable partial binding, per-depth
+// expansion buffers reused across sibling nodes, and the streaming dedup/
+// cursor/limit state.
+type streamSolver struct {
+	g       conjGraph
+	vars    []string
+	clauses []Clause
+	bound   Binding
+	bufs    [][]kg.Triple // per-depth candidate scratch, reused across siblings
+	keys    []kg.ValueKey // leaf key-tuple scratch
+	enc     []byte        // leaf key-encoding scratch
+	seen    map[string]struct{}
+
+	cursor   string // encoded cursor tuple; "" = none
+	skipping bool   // still replaying rows up to and including the cursor
+	limit    int    // <= 0 = unlimited
+	yielded  int
+	ctx      context.Context
+	err      error // context error to surface after unwinding
+	yield    func(Binding, error) bool
+}
+
+// solve evaluates clauses[idx:] under the current binding, yielding
+// complete bindings depth-first. It returns false to abort the whole
+// enumeration (consumer break, limit reached, or context cancelled).
+func (s *streamSolver) solve(idx int) bool {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	if idx == len(s.clauses) {
+		return s.emit()
+	}
+	// Re-pick the cheapest unresolved clause at this depth; ties keep the
+	// earlier clause, so planning is deterministic.
+	best := idx
+	bestCost := estimateOn(s.g, s.clauses[idx], s.bound)
+	for j := idx + 1; j < len(s.clauses); j++ {
+		if cost := estimateOn(s.g, s.clauses[j], s.bound); cost < bestCost {
+			best, bestCost = j, cost
+		}
+	}
+	s.clauses[idx], s.clauses[best] = s.clauses[best], s.clauses[idx]
+	chosen := s.clauses[idx]
+
+	// Fully resolved clause: a single membership check, no candidate
+	// buffer and no bindings to roll back. The lookup is SPO identity; a
+	// var-bound object then re-applies the join's Equal semantics, so a
+	// NaN-valued binding is pruned here exactly as bindVar prunes it on
+	// the general path.
+	if sv, sBound := resolve(chosen.Subject, s.bound); sBound {
+		if ov, oBound := resolve(chosen.Object, s.bound); oBound {
+			if s.g.HasFact(sv.Entity, chosen.Predicate, ov) &&
+				(chosen.Object.Var == "" || ov.Equal(ov)) {
+				return s.solve(idx + 1)
+			}
+			return true
+		}
+	}
+
+	// Buffered expansion: candidates are copied out under the index locks
+	// and enumerated lock-free, so the recursion (and the consumer's loop
+	// body) never runs inside a graph lock.
+	s.bufs[idx] = expandAppend(s.g, chosen, s.bound, s.bufs[idx][:0])
+	for _, t := range s.bufs[idx] {
+		// A clause binds at most two variables; track them in a fixed
+		// array so each match costs no bookkeeping allocations.
+		var added [2]string
+		n := 0
+		ok := s.bindVar(chosen.Subject.Var, kg.EntityValue(t.Subject), &added, &n) &&
+			s.bindVar(chosen.Object.Var, t.Object, &added, &n)
+		cont := true
+		if ok {
+			cont = s.solve(idx + 1)
+		}
+		for i := 0; i < n; i++ {
+			delete(s.bound, added[i])
+		}
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// emit handles a complete binding at a leaf: streaming dedup on the key
+// tuple, cursor skip, limit accounting, and the yield itself.
+func (s *streamSolver) emit() bool {
+	for i, name := range s.vars {
+		s.keys[i] = s.bound[name].MapKey()
+	}
+	s.enc = appendKeyTuple(s.enc[:0], s.keys)
+	if _, dup := s.seen[string(s.enc)]; dup {
+		return true
+	}
+	s.seen[string(s.enc)] = struct{}{}
+	if s.skipping {
+		if string(s.enc) == s.cursor {
+			s.skipping = false
+		}
+		return true
+	}
+	b := make(Binding, len(s.vars))
+	for _, name := range s.vars {
+		b[name] = s.bound[name]
+	}
+	if !s.yield(b, nil) {
+		return false
+	}
+	s.yielded++
+	return s.limit <= 0 || s.yielded < s.limit
+}
+
+// bindVar extends the partial binding with name=val, reporting false on a
+// conflict with an existing binding (Equal semantics, matching the join).
+// Newly bound names are recorded in added for rollback.
+func (s *streamSolver) bindVar(name string, val kg.Value, added *[2]string, n *int) bool {
+	if name == "" {
+		return true
+	}
+	if existing, has := s.bound[name]; has {
+		return existing.Equal(val)
+	}
+	s.bound[name] = val
+	added[*n] = name
+	*n++
+	return true
+}
+
+// Stream yields the triples matching the pattern, choosing the cheapest
+// index for the bound positions — the iterator twin of Query. Unlike
+// StreamConjunctive, the yield runs under the graph's read locks (the
+// same contract as the kg *Func/*Seq visitors): the loop body must not
+// mutate the graph or call back into it; breaking out stops the scan and
+// releases the lock. Use StreamPattern for limits, provenance routing,
+// and cancellation; use Query for a detached copy.
+func (e *Engine) Stream(p Pattern) iter.Seq[kg.Triple] {
+	return func(yield func(kg.Triple) bool) {
+		for t, err := range e.StreamPattern(p, QueryOptions{}) {
+			// The zero options cannot produce an error (no cursor, no
+			// context); guard anyway so a future error path cannot yield
+			// a zero triple silently.
+			if err != nil {
+				return
+			}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+// StreamPattern is Stream with options: Limit stops the index scan after
+// that many matches, Context/Timeout abort it between matches, and
+// Provenance selects stored-triple enumeration for the predicate-bound
+// paths (see QueryOptions.Provenance). Cursors are a conjunctive-query
+// feature; a pattern query with a cursor yields an error. Rows yield
+// under the graph's read locks, like Stream; error elements yield after
+// the locks are released.
+func (e *Engine) StreamPattern(p Pattern, opts QueryOptions) iter.Seq2[kg.Triple, error] {
+	return func(yield func(kg.Triple, error) bool) {
+		if len(opts.Cursor) > 0 {
+			yield(kg.Triple{}, fmt.Errorf("graphengine: cursors are not supported for pattern queries"))
+			return
+		}
+		ctx := opts.Context
+		if opts.Timeout > 0 {
+			base := ctx
+			if base == nil {
+				base = context.Background()
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(base, opts.Timeout)
+			defer cancel()
+		}
+		g := e.g
+		n := 0
+		var ctxErr error
+		// emit forwards one match; it returns false to stop the scan
+		// (consumer break, limit, cancellation).
+		emit := func(t kg.Triple) bool {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
+			if !yield(t, nil) {
+				return false
+			}
+			n++
+			return opts.Limit <= 0 || n < opts.Limit
+		}
+		switch {
+		case p.Subject != nil && p.Predicate != nil:
+			g.FactsFunc(*p.Subject, *p.Predicate, func(t kg.Triple) bool {
+				if p.Object != nil && !t.Object.Equal(*p.Object) {
+					return true
+				}
+				return emit(t)
+			})
+		case p.Subject != nil:
+			g.OutgoingFunc(*p.Subject, func(t kg.Triple) bool {
+				if p.Object != nil && !t.Object.Equal(*p.Object) {
+					return true
+				}
+				return emit(t)
+			})
+		case p.Predicate != nil && p.Object != nil && !opts.Provenance:
+			obj := *p.Object
+			g.SubjectsWithFunc(*p.Predicate, obj, func(s kg.EntityID) bool {
+				return emit(kg.Triple{Subject: s, Predicate: *p.Predicate, Object: obj})
+			})
+		case p.Predicate != nil && p.Object != nil:
+			// Provenance route: stored triples at full-scan cost, with the
+			// same SPO-identity match the index path applies.
+			key := p.Object.MapKey()
+			g.Triples(func(t kg.Triple) bool {
+				if t.Predicate != *p.Predicate || t.Object.MapKey() != key {
+					return true
+				}
+				return emit(t)
+			})
+		case p.Object != nil && p.Object.IsEntity():
+			// The P+O cases above have already captured patterns with a
+			// bound predicate, so only the bare incoming-edge scan remains.
+			g.IncomingFunc(p.Object.Entity, emit)
+		case p.Predicate != nil && !opts.Provenance:
+			g.PredicateEntriesFunc(*p.Predicate, func(obj kg.Value, subj kg.EntityID) bool {
+				return emit(kg.Triple{Subject: subj, Predicate: *p.Predicate, Object: obj})
+			})
+		case p.Predicate != nil:
+			g.Triples(func(t kg.Triple) bool {
+				if t.Predicate != *p.Predicate {
+					return true
+				}
+				return emit(t)
+			})
+		default:
+			// Nothing bound, or only a literal object: full scan with the
+			// residual object filter.
+			g.Triples(func(t kg.Triple) bool {
+				if p.Object != nil && !t.Object.Equal(*p.Object) {
+					return true
+				}
+				return emit(t)
+			})
+		}
+		if ctxErr != nil {
+			yield(kg.Triple{}, ctxErr)
+		}
+	}
+}
+
+// --- Cursor tokens ------------------------------------------------------
+
+// BindingKey returns the binding's identity tuple: the values' ValueKeys
+// in sorted-variable order — the same tuple streaming dedup, result
+// ordering, and cursors are defined over. Pass it to EncodeCursor to
+// build the resume token for the page ending at this binding.
+func BindingKey(b Binding) []kg.ValueKey {
+	names := make([]string, 0, len(b))
+	for name := range b {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	keys := make([]kg.ValueKey, len(names))
+	for i, name := range names {
+		keys[i] = b[name].MapKey()
+	}
+	return keys
+}
+
+// EncodeCursor serializes a binding key tuple into an opaque URL-safe
+// token. The encoding is the collision-free binary key-tuple form (fixed-
+// width kind/payload, length-prefixed strings), base64url without
+// padding; adversarial literals (separators, NaN payloads, empty strings)
+// round-trip exactly.
+func EncodeCursor(keys []kg.ValueKey) string {
+	return base64.RawURLEncoding.EncodeToString(appendKeyTuple(nil, keys))
+}
+
+// DecodeCursor parses a token produced by EncodeCursor.
+func DecodeCursor(token string) ([]kg.ValueKey, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return nil, fmt.Errorf("graphengine: bad cursor encoding: %w", err)
+	}
+	count, off := binary.Uvarint(raw)
+	if off <= 0 || count > maxCursorKeys {
+		return nil, fmt.Errorf("graphengine: bad cursor header")
+	}
+	keys := make([]kg.ValueKey, 0, count)
+	rest := raw[off:]
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 1+8 {
+			return nil, fmt.Errorf("graphengine: truncated cursor")
+		}
+		k := kg.ValueKey{Kind: kg.ValueKind(rest[0])}
+		k.Num = int64(binary.BigEndian.Uint64(rest[1:9]))
+		rest = rest[9:]
+		strLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < strLen {
+			return nil, fmt.Errorf("graphengine: truncated cursor string")
+		}
+		k.Str = string(rest[n : n+int(strLen)])
+		rest = rest[n+int(strLen):]
+		keys = append(keys, k)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("graphengine: trailing bytes in cursor")
+	}
+	return keys, nil
+}
+
+// maxCursorKeys bounds the declared tuple size of a decoded cursor; no
+// real query has anywhere near this many variables, and the bound stops a
+// hostile token from pre-allocating an arbitrary slice.
+const maxCursorKeys = 4096
+
+// appendKeyTuple appends the collision-free binary encoding of a key
+// tuple: a uvarint count, then per key a kind byte, the 8-byte big-endian
+// numeric payload, and the length-prefixed string payload. Fixed-width
+// fields keep each key's encoding prefix-free, so distinct tuples can
+// never encode to the same bytes (the property the streaming dedup set
+// and cursor comparison rely on; rendered-string encodings lost it to
+// separator collisions).
+func appendKeyTuple(b []byte, keys []kg.ValueKey) []byte {
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = append(b, byte(k.Kind))
+		b = binary.BigEndian.AppendUint64(b, uint64(k.Num))
+		b = binary.AppendUvarint(b, uint64(len(k.Str)))
+		b = append(b, k.Str...)
+	}
+	return b
+}

@@ -1,0 +1,526 @@
+package graphengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saga/internal/kg"
+)
+
+// streamFixture builds a graph where one team has many members, all of
+// whom also won the award — a query with a wide answer set, the shape a
+// limit must terminate early.
+func streamFixture(t testing.TB, nMembers int) (g *kg.Graph, clauses []Clause) {
+	t.Helper()
+	g = kg.NewGraphWithShards(8)
+	add := func(key string) kg.EntityID {
+		id, err := g.AddEntity(kg.Entity{Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	member, _ := g.AddPredicate(kg.Predicate{Name: "memberOf"})
+	award, _ := g.AddPredicate(kg.Predicate{Name: "award"})
+	team := add("team")
+	prize := add("prize")
+	batch := make([]kg.Triple, 0, nMembers*2)
+	for i := 0; i < nMembers; i++ {
+		p := add(fmt.Sprintf("p%d", i))
+		batch = append(batch,
+			kg.Triple{Subject: p, Predicate: member, Object: kg.EntityValue(team)},
+			kg.Triple{Subject: p, Predicate: award, Object: kg.EntityValue(prize)},
+		)
+	}
+	if _, err := g.AssertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	clauses = []Clause{
+		{Subject: V("p"), Predicate: member, Object: CE(team)},
+		{Subject: V("p"), Predicate: award, Object: CE(prize)},
+	}
+	return g, clauses
+}
+
+// collectStream drains a stream into bindings, failing the test on any
+// yielded error.
+func collectStream(t *testing.T, seq func(func(Binding, error) bool)) []Binding {
+	t.Helper()
+	var out []Binding
+	for b, err := range seq {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// bindingToken returns the collision-free identity token of a binding —
+// the encoded cursor of its key tuple.
+func bindingToken(b Binding) string { return EncodeCursor(BindingKey(b)) }
+
+// Property: on random graphs and random two-clause queries, the stream-
+// collected result set is exactly QueryConjunctive's (same dedup, same
+// count), the stream itself never yields a duplicate, a limited stream is
+// a prefix of the unlimited one, and cursor pagination reproduces the
+// unlimited stream with no dup or missing row.
+func TestStreamConjunctiveMatchesQueryConjunctive(t *testing.T) {
+	f := func(edges []uint16, q1, q2 uint8) bool {
+		g := kg.NewGraph()
+		const nEnts = 6
+		ents := make([]kg.EntityID, nEnts)
+		for i := range ents {
+			id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("e%d", i)})
+			if err != nil {
+				return false
+			}
+			ents[i] = id
+		}
+		preds := make([]kg.PredicateID, 2)
+		for i := range preds {
+			id, err := g.AddPredicate(kg.Predicate{Name: fmt.Sprintf("p%d", i)})
+			if err != nil {
+				return false
+			}
+			preds[i] = id
+		}
+		for _, e := range edges {
+			s := ents[int(e)%nEnts]
+			p := preds[int(e>>4)%2]
+			o := ents[int(e>>8)%nEnts]
+			if err := g.Assert(kg.Triple{Subject: s, Predicate: p, Object: kg.EntityValue(o)}); err != nil {
+				return false
+			}
+		}
+		eng := New(g)
+		clauses := []Clause{
+			{Subject: V("x"), Predicate: preds[int(q1)%2], Object: V("y")},
+			{Subject: V("y"), Predicate: preds[int(q2)%2], Object: V("z")},
+		}
+
+		var streamed []Binding
+		seen := make(map[string]bool)
+		for b, err := range eng.StreamConjunctive(clauses, QueryOptions{}) {
+			if err != nil {
+				return false
+			}
+			tok := bindingToken(b)
+			if seen[tok] {
+				return false // in-stream duplicate
+			}
+			seen[tok] = true
+			streamed = append(streamed, b)
+		}
+
+		sorted, err := eng.QueryConjunctive(clauses)
+		if err != nil {
+			return false
+		}
+		if len(sorted) != len(streamed) {
+			return false
+		}
+		for _, b := range sorted {
+			if !seen[bindingToken(b)] {
+				return false
+			}
+		}
+
+		// Limit push-down yields a prefix of the unlimited stream.
+		for _, limit := range []int{1, 2, len(streamed)} {
+			if limit > len(streamed) || limit == 0 {
+				continue
+			}
+			page := 0
+			for b, err := range eng.StreamConjunctive(clauses, QueryOptions{Limit: limit}) {
+				if err != nil {
+					return false
+				}
+				if bindingToken(b) != bindingToken(streamed[page]) {
+					return false
+				}
+				page++
+			}
+			if page != limit {
+				return false
+			}
+		}
+
+		// Cursor pagination walks the exact unlimited sequence.
+		var walked []Binding
+		var cursor []kg.ValueKey
+		for {
+			n := 0
+			var last Binding
+			for b, err := range eng.StreamConjunctive(clauses, QueryOptions{Limit: 2, Cursor: cursor}) {
+				if err != nil {
+					return false
+				}
+				walked = append(walked, b)
+				last = b
+				n++
+			}
+			if n < 2 {
+				break
+			}
+			cursor = BindingKey(last)
+		}
+		if len(walked) != len(streamed) {
+			return false
+		}
+		for i := range walked {
+			if bindingToken(walked[i]) != bindingToken(streamed[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingGraph wraps a graph to count how often the solver actually
+// probes it: posting-list entries enumerated and membership checks made.
+type countingGraph struct {
+	*kg.Graph
+	hasFact  int
+	postings int
+}
+
+func (c *countingGraph) HasFact(s kg.EntityID, p kg.PredicateID, o kg.Value) bool {
+	c.hasFact++
+	return c.Graph.HasFact(s, p, o)
+}
+
+func (c *countingGraph) SubjectsWithFunc(p kg.PredicateID, o kg.Value, fn func(kg.EntityID) bool) {
+	c.Graph.SubjectsWithFunc(p, o, func(id kg.EntityID) bool {
+		c.postings++
+		return fn(id)
+	})
+}
+
+// A limited solve must stop probing the graph once the page is full: with
+// every team member holding the award, each yielded row costs one
+// membership check, so limit rows cost limit checks — not one per member
+// as the full solve pays.
+func TestStreamConjunctiveLimitStopsProbing(t *testing.T) {
+	const nMembers = 512
+	g, clauses := streamFixture(t, nMembers)
+
+	full := &countingGraph{Graph: g}
+	rows := 0
+	for _, err := range streamConjunctive(full, clauses, QueryOptions{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows++
+	}
+	if rows != nMembers {
+		t.Fatalf("full solve = %d rows, want %d", rows, nMembers)
+	}
+	if full.hasFact < nMembers {
+		t.Fatalf("full solve made %d membership probes, expected >= %d — fixture no longer exercises the probe path", full.hasFact, nMembers)
+	}
+
+	const limit = 5
+	limited := &countingGraph{Graph: g}
+	rows = 0
+	for _, err := range streamConjunctive(limited, clauses, QueryOptions{Limit: limit}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows++
+	}
+	if rows != limit {
+		t.Fatalf("limited solve = %d rows, want %d", rows, limit)
+	}
+	if limited.hasFact > limit {
+		t.Fatalf("limited solve made %d membership probes after limit %d — limit is not pushed into the solver", limited.hasFact, limit)
+	}
+}
+
+// Cursor pagination at the engine level: pages are disjoint, in stream
+// order, and their union is exactly the full answer set.
+func TestStreamConjunctiveCursorPagination(t *testing.T) {
+	const nMembers = 23
+	g, clauses := streamFixture(t, nMembers)
+	e := New(g)
+
+	want := collectStream(t, e.StreamConjunctive(clauses, QueryOptions{}))
+	if len(want) != nMembers {
+		t.Fatalf("full stream = %d rows, want %d", len(want), nMembers)
+	}
+
+	var pages [][]Binding
+	var cursor []kg.ValueKey
+	for {
+		page := collectStream(t, e.StreamConjunctive(clauses, QueryOptions{Limit: 4, Cursor: cursor}))
+		if len(page) == 0 {
+			break
+		}
+		pages = append(pages, page)
+		cursor = BindingKey(page[len(page)-1])
+		if len(page) < 4 {
+			break
+		}
+	}
+	var all []Binding
+	for _, p := range pages {
+		all = append(all, p...)
+	}
+	if len(all) != len(want) {
+		t.Fatalf("paged union = %d rows, full stream = %d", len(all), len(want))
+	}
+	seen := make(map[string]bool, len(all))
+	for i := range all {
+		tok := bindingToken(all[i])
+		if seen[tok] {
+			t.Fatalf("row %d duplicated across pages", i)
+		}
+		seen[tok] = true
+		if tok != bindingToken(want[i]) {
+			t.Fatalf("paged row %d diverges from stream order", i)
+		}
+	}
+
+	// A cursor naming a row that does not exist yields an empty remainder,
+	// not an error and not a restart.
+	ghost := []kg.ValueKey{kg.StringValue("no-such-binding").MapKey()}
+	if got := collectStream(t, e.StreamConjunctive(clauses, QueryOptions{Cursor: ghost})); len(got) != 0 {
+		t.Fatalf("unknown cursor yielded %d rows, want 0", len(got))
+	}
+
+	// A cursor of the wrong arity is an error.
+	bad := []kg.ValueKey{kg.IntValue(1).MapKey(), kg.IntValue(2).MapKey()}
+	var gotErr error
+	for _, err := range e.StreamConjunctive(clauses, QueryOptions{Cursor: bad}) {
+		if err != nil {
+			gotErr = err
+		}
+	}
+	if gotErr == nil {
+		t.Fatal("arity-mismatched cursor accepted")
+	}
+}
+
+// Cursor tokens must round-trip adversarial ValueKeys exactly.
+func TestCursorRoundTrip(t *testing.T) {
+	tuples := [][]kg.ValueKey{
+		{},
+		{kg.StringValue("").MapKey()},
+		{kg.StringValue("a;y=s:b").MapKey(), kg.StringValue("").MapKey()},
+		{kg.EntityValue(42).MapKey(), kg.IntValue(-7).MapKey(), kg.BoolValue(true).MapKey()},
+		{kg.FloatValue(math.Float64frombits(0x7ff8000000000001)).MapKey(), kg.FloatValue(math.Float64frombits(0x7ff8000000000002)).MapKey()},
+		{kg.TimeValue(time.Unix(0, 123456789).UTC()).MapKey()},
+	}
+	for i, keys := range tuples {
+		tok := EncodeCursor(keys)
+		got, err := DecodeCursor(tok)
+		if err != nil {
+			t.Fatalf("tuple %d: decode: %v", i, err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("tuple %d: round-trip length %d != %d", i, len(got), len(keys))
+		}
+		for j := range got {
+			if got[j] != keys[j] {
+				t.Fatalf("tuple %d key %d: %+v != %+v", i, j, got[j], keys[j])
+			}
+		}
+	}
+	// Distinct adversarial tuples must encode distinctly (the dedup and
+	// cursor comparison property).
+	a := EncodeCursor([]kg.ValueKey{kg.StringValue("a;y=s:b").MapKey(), kg.StringValue("").MapKey()})
+	b := EncodeCursor([]kg.ValueKey{kg.StringValue("a").MapKey(), kg.StringValue("b;y=s:").MapKey()})
+	if a == b {
+		t.Fatal("adversarial separator literals encode to the same cursor")
+	}
+	if _, err := DecodeCursor("!!!not-base64!!!"); err == nil {
+		t.Fatal("garbage cursor accepted")
+	}
+	if _, err := DecodeCursor(EncodeCursor(nil) + "AAAA"); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// Context cancellation aborts the solve mid-join: after cancel, the
+// stream yields no further rows and surfaces the context error as its
+// final element.
+func TestStreamConjunctiveContextCancel(t *testing.T) {
+	g, clauses := streamFixture(t, 64)
+	e := New(g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	var gotErr error
+	for _, err := range e.StreamConjunctive(clauses, QueryOptions{Context: ctx}) {
+		if err != nil {
+			gotErr = err
+			continue
+		}
+		rows++
+		cancel()
+	}
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("cancelled stream error = %v, want context.Canceled", gotErr)
+	}
+	if rows != 1 {
+		t.Fatalf("cancelled stream yielded %d rows after cancel on the first, want 1", rows)
+	}
+
+	// An already-expired timeout aborts before the first row.
+	rows = 0
+	gotErr = nil
+	for _, err := range e.StreamConjunctive(clauses, QueryOptions{Timeout: time.Nanosecond}) {
+		if err != nil {
+			gotErr = err
+			continue
+		}
+		rows++
+	}
+	if !errors.Is(gotErr, context.DeadlineExceeded) {
+		t.Fatalf("timed-out stream error = %v, want context.DeadlineExceeded", gotErr)
+	}
+	if rows != 0 {
+		t.Fatalf("timed-out stream yielded %d rows, want 0", rows)
+	}
+}
+
+// Stream/StreamPattern: limit push-down, early break, and provenance
+// routing on the predicate-bound paths.
+func TestStreamPattern(t *testing.T) {
+	g := kg.NewGraph()
+	s, _ := g.AddEntity(kg.Entity{Key: "s"})
+	o, _ := g.AddEntity(kg.Entity{Key: "o"})
+	p, _ := g.AddPredicate(kg.Predicate{Name: "p"})
+	for i := 0; i < 10; i++ {
+		tr := kg.Triple{Subject: s, Predicate: p, Object: kg.IntValue(int64(i)), Prov: kg.Provenance{Source: "src"}}
+		if err := g.Assert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Assert(kg.Triple{Subject: s, Predicate: p, Object: kg.EntityValue(o), Prov: kg.Provenance{Source: "src"}}); err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+
+	n := 0
+	for t2, err := range e.StreamPattern(Pattern{Predicate: P(p)}, QueryOptions{Limit: 3}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = t2
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("limited pattern stream = %d rows, want 3", n)
+	}
+
+	// Early break stops the scan and releases the lock: a write afterwards
+	// must not deadlock.
+	for range e.Stream(Pattern{Predicate: P(p)}) {
+		break
+	}
+	if err := g.Assert(kg.Triple{Subject: o, Predicate: p, Object: kg.IntValue(99)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default predicate-only path reconstructs objects without provenance;
+	// the Provenance option routes through stored triples.
+	for tr, err := range e.StreamPattern(Pattern{Predicate: P(p)}, QueryOptions{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Prov.Source != "" {
+			t.Fatalf("index-path triple carries provenance %q, expected none", tr.Prov.Source)
+		}
+	}
+	withProv := 0
+	for tr, err := range e.StreamPattern(Pattern{Predicate: P(p)}, QueryOptions{Provenance: true}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Subject == s && tr.Prov.Source != "src" {
+			t.Fatalf("provenance-path triple lost its provenance: %+v", tr)
+		}
+		withProv++
+	}
+	if withProv != 12 {
+		t.Fatalf("provenance-path stream = %d rows, want 12", withProv)
+	}
+
+	// P+O: both routes yield the same match set, provenance only on the
+	// stored-triple route.
+	obj := kg.EntityValue(o)
+	idx := collectPattern(t, e, Pattern{Predicate: P(p), Object: O(obj)}, QueryOptions{})
+	prov := collectPattern(t, e, Pattern{Predicate: P(p), Object: O(obj)}, QueryOptions{Provenance: true})
+	if len(idx) != 1 || len(prov) != 1 {
+		t.Fatalf("P+O match counts diverge: index=%d provenance=%d, want 1/1", len(idx), len(prov))
+	}
+	if idx[0].Prov.Source != "" || prov[0].Prov.Source != "src" {
+		t.Fatalf("P+O provenance routing wrong: index=%q provenance=%q", idx[0].Prov.Source, prov[0].Prov.Source)
+	}
+
+	// Cursors are conjunctive-only.
+	var cursorErr error
+	for _, err := range e.StreamPattern(Pattern{Predicate: P(p)}, QueryOptions{Cursor: []kg.ValueKey{{}}}) {
+		cursorErr = err
+	}
+	if cursorErr == nil {
+		t.Fatal("pattern stream accepted a cursor")
+	}
+}
+
+func collectPattern(t *testing.T, e *Engine, p Pattern, opts QueryOptions) []kg.Triple {
+	t.Helper()
+	var out []kg.Triple
+	for tr, err := range e.StreamPattern(p, opts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// pprSparse must reuse its two frontier maps across iterations (the
+// pprDense swap mirrored onto maps): allocations must not scale with the
+// iteration count.
+func TestPPRSparseMapReuse(t *testing.T) {
+	g := kg.NewGraph()
+	p, _ := g.AddPredicate(kg.Predicate{Name: "p"})
+	// A small ring so the PPR frontier saturates within the short run:
+	// any allocation difference between the two run lengths below is then
+	// per-iteration cost, not frontier-growth cost.
+	ids := make([]kg.EntityID, 8)
+	for i := range ids {
+		id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i := range ids {
+		if err := g.Assert(kg.Triple{Subject: ids[i], Predicate: p, Object: kg.EntityValue(ids[(i+1)%len(ids)])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(g)
+	snap := e.Snapshot()
+	src := ids[0]
+
+	short := testing.AllocsPerRun(20, func() { pprSparse(snap, src, 0.15, 8) })
+	long := testing.AllocsPerRun(20, func() { pprSparse(snap, src, 0.15, 40) })
+	// The fixed cost (two maps + growth) is identical; the old
+	// allocate-per-iteration behavior would add ~36 map headers here.
+	if long > short+4 {
+		t.Fatalf("pprSparse allocations scale with iters: %0.1f at 4 iters vs %0.1f at 40", short, long)
+	}
+}

@@ -8,6 +8,14 @@
 // related-entities model consumes pre-computed traversals ("use the
 // scalable graph processing capabilities of our graph engine to
 // pre-compute graph traversals", §2).
+//
+// The query surface is iterator-first (see stream.go): Stream and
+// StreamConjunctive yield matches as the planner produces them, with one
+// QueryOptions struct for limit push-down, cursor pagination, provenance
+// routing, timeouts, and context cancellation — the serving-path
+// contract, where evaluation cost tracks output consumed. The
+// slice-returning Query and QueryConjunctive are collect(-and-sort)
+// shims over the streams.
 package graphengine
 
 import (

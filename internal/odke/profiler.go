@@ -177,7 +177,10 @@ func FindGaps(g *kg.Graph, queryLog []workload.QueryLogEntry, cfg ProfilerConfig
 	// time", §4).
 	if cfg.StaleAfter > 0 {
 		g.Entities(func(e *kg.Entity) bool {
-			for _, tr := range g.Outgoing(e.ID) {
+			// Stream the outgoing facts instead of materializing the full
+			// per-entity slice: the profiler only inspects each triple's
+			// predicate record and provenance timestamp.
+			for tr := range g.OutgoingSeq(e.ID) {
 				p := g.Predicate(tr.Predicate)
 				if p == nil || !p.Functional {
 					continue

@@ -15,11 +15,39 @@ import (
 //	{"clauses": [
 //	  {"subject": {"var": "p"}, "predicate": "memberOf", "object": {"key": "team0"}},
 //	  {"subject": {"var": "p"}, "predicate": "award",    "object": {"key": "award0"}}
-//	]}
+//	], "limit": 100, "cursor": "..."}
 //
 // Each term is exactly one of: {"var": name}, {"key": entityKey},
 // {"string": s}, {"int": n}. The response lists one binding object per
-// answer, with entity values rendered as {key, name}.
+// answer, with entity values rendered as {key, name}, plus the applied
+// "limit", the result "count", and — when more answers remain — a
+// "next_cursor" token that resumes enumeration after the last returned
+// binding:
+//
+//	{"bindings": [...], "count": 100, "limit": 100, "next_cursor": "..."}
+//
+// The solve streams (saga.Platform.QueryStream): it stops probing the
+// graph as soon as the page is full, and the request context aborts it
+// mid-join when the client disconnects. Serving-path guards bound what
+// one request can cost: bodies over 1 MiB are rejected with 413,
+// conjunctions over 32 clauses with 400, a request without a limit gets
+// the default page size, and limits above the maximum are clamped.
+// Cursor pagination is deterministic while the graph is unchanged;
+// concurrent mutations may shift page boundaries (the token names the
+// last binding seen, not a snapshot).
+const (
+	// maxQueryBodyBytes caps the request body size.
+	maxQueryBodyBytes = 1 << 20
+	// maxQueryClauses caps the conjunction width; beyond it the planner's
+	// per-depth re-estimation alone is a DoS surface.
+	maxQueryClauses = 32
+	// defaultQueryLimit is the page size applied when the request omits
+	// "limit" — an unbounded conjunctive query materializing every answer
+	// was the serving path's unbounded-DoS hole.
+	defaultQueryLimit = 1000
+	// maxQueryLimit caps an explicit "limit".
+	maxQueryLimit = 10000
+)
 
 type queryTermJSON struct {
 	Var    *string `json:"var,omitempty"`
@@ -36,6 +64,8 @@ type queryClauseJSON struct {
 
 type queryRequest struct {
 	Clauses []queryClauseJSON `json:"clauses"`
+	Limit   *int              `json:"limit"`
+	Cursor  string            `json:"cursor"`
 }
 
 func (s *Server) parseTerm(t queryTermJSON) (saga.QueryTerm, error) {
@@ -75,14 +105,47 @@ func (s *Server) parseTerm(t queryTermJSON) (saga.QueryTerm, error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBodyBytes)
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", int64(maxQueryBodyBytes)))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if len(req.Clauses) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("no clauses"))
 		return
+	}
+	if len(req.Clauses) > maxQueryClauses {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d clauses exceeds the maximum of %d", len(req.Clauses), maxQueryClauses))
+		return
+	}
+	limit := defaultQueryLimit
+	if req.Limit != nil {
+		switch {
+		case *req.Limit <= 0:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %d", *req.Limit))
+			return
+		case *req.Limit > maxQueryLimit:
+			limit = maxQueryLimit
+		default:
+			limit = *req.Limit
+		}
+	}
+	var cursor saga.QueryCursor
+	if req.Cursor != "" {
+		c, err := saga.DecodeQueryCursor(req.Cursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad cursor: %w", err))
+			return
+		}
+		cursor = c
 	}
 	g := s.Platform.Graph()
 	clauses := make([]saga.QueryClause, 0, len(req.Clauses))
@@ -104,11 +167,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		clauses = append(clauses, saga.QueryClause{Subject: subj, Predicate: pred.ID, Object: obj})
 	}
-	bindings, err := s.Platform.QueryConjunctive(clauses)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+
+	// Stream one row past the page size: the extra row proves more answers
+	// remain without solving for them, and the page's last binding becomes
+	// the next_cursor token.
+	opts := saga.QueryOptions{
+		Limit:   limit + 1,
+		Cursor:  cursor,
+		Context: r.Context(),
 	}
+	bindings := make([]saga.QueryBinding, 0, min(limit, 64))
+	more := false
+	for b, err := range s.Platform.QueryStream(clauses, opts) {
+		if err != nil {
+			if isClientGone(err) {
+				// Nothing useful to write.
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(bindings) == limit {
+			more = true
+			break
+		}
+		bindings = append(bindings, b)
+	}
+
 	out := make([]map[string]any, 0, len(bindings))
 	for _, b := range bindings {
 		rowJSON := make(map[string]any, len(b))
@@ -124,5 +209,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, rowJSON)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"bindings": out, "count": len(out)})
+	resp := map[string]any{"bindings": out, "count": len(out), "limit": limit}
+	if more {
+		resp["next_cursor"] = saga.EncodeQueryCursor(saga.QueryBindingKey(bindings[len(bindings)-1]))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

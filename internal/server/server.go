@@ -1,9 +1,17 @@
 // Package server exposes the knowledge platform over HTTP: entity lookup,
 // semantic annotation, fact ranking, fact verification, related entities,
-// and web search. It is the serving layer of Fig 1, used by cmd/kgserve.
+// web search, and paginated conjunctive queries. It is the serving layer
+// of Fig 1, used by cmd/kgserve.
+//
+// The potentially-slow handlers are bounded-work by construction:
+// POST /query streams its solve with an enforced page limit and opaque
+// resume cursors (see query.go), and /query, /rank, /related, /search all
+// thread the request context into their compute so a disconnected client
+// aborts the work instead of burning CPU to completion.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +63,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// isClientGone reports whether an error means the request context ended —
+// the potentially-slow handlers (/query, /rank, /related, /search) thread
+// r.Context() into their compute so a disconnected client stops burning
+// CPU; when that happens there is no one left to write a response to.
+func isClientGone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -201,8 +217,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("unknown predicate"))
 		return
 	}
-	ranked, err := s.Platform.RankFacts(subj.ID, pred.ID)
+	ranked, err := s.Platform.RankFactsContext(r.Context(), subj.ID, pred.ID)
 	if err != nil {
+		if isClientGone(err) {
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -266,8 +285,11 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	rel, err := s.Platform.RelatedEntities(e.ID, k)
+	rel, err := s.Platform.RelatedEntitiesContext(r.Context(), e.ID, k)
 	if err != nil {
+		if isClientGone(err) {
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -305,7 +327,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			k = n
 		}
 	}
-	hits := s.Search.Search(q, k)
+	hits, err := s.Search.SearchContext(r.Context(), q, k)
+	if err != nil {
+		// Only the request context can produce an error here: the client
+		// disconnected, nothing useful to write.
+		return
+	}
 	type row struct {
 		ID    string  `json:"id"`
 		URL   string  `json:"url"`

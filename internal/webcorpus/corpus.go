@@ -213,17 +213,25 @@ func entityDoc(w *workload.World, i int, rng *rand.Rand, cfg Config) *Document {
 func buildInfobox(w *workload.World, subject kg.EntityID, rng *rand.Rand, wrongFrac float64) map[string]string {
 	g := w.Graph
 	box := make(map[string]string)
-	if facts := g.Facts(subject, w.Preds["dateOfBirth"]); len(facts) > 0 {
-		box["dateOfBirth"] = facts[0].Object.TS.Format("2006-01-02")
+	// Each field wants only the first asserted fact; pull it with an
+	// early-stopped posting iteration instead of copying the whole slice.
+	first := func(pred kg.PredicateID) (kg.Value, bool) {
+		for t := range g.FactsSeq(subject, pred) {
+			return t.Object, true
+		}
+		return kg.Value{}, false
 	}
-	if facts := g.Facts(subject, w.Preds["memberOf"]); len(facts) > 0 {
-		box["memberOf"] = g.Entity(facts[0].Object.Entity).Name
+	if obj, ok := first(w.Preds["dateOfBirth"]); ok {
+		box["dateOfBirth"] = obj.TS.Format("2006-01-02")
 	}
-	if facts := g.Facts(subject, w.Preds["bornIn"]); len(facts) > 0 {
-		box["bornIn"] = g.Entity(facts[0].Object.Entity).Name
+	if obj, ok := first(w.Preds["memberOf"]); ok {
+		box["memberOf"] = g.Entity(obj.Entity).Name
 	}
-	if facts := g.Facts(subject, w.Preds["occupation"]); len(facts) > 0 {
-		box["occupation"] = g.Entity(facts[0].Object.Entity).Name
+	if obj, ok := first(w.Preds["bornIn"]); ok {
+		box["bornIn"] = g.Entity(obj.Entity).Name
+	}
+	if obj, ok := first(w.Preds["occupation"]); ok {
+		box["occupation"] = g.Entity(obj.Entity).Name
 	}
 	if rng.Float64() < wrongFrac && len(box) > 0 {
 		// Corrupt the date of birth if present, else a name field.

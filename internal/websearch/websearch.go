@@ -6,6 +6,7 @@
 package websearch
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -114,18 +115,28 @@ type Hit struct {
 // Search runs a BM25 query and returns the top-k hits, highest score
 // first. Ties break by document ID for determinism.
 func (ix *Index) Search(query string, k int) []Hit {
+	hits, _ := ix.SearchContext(context.Background(), query, k)
+	return hits
+}
+
+// SearchContext is Search with cancellation: the posting accumulation
+// loop polls ctx every few thousand entries, so a disconnected serving
+// client stops a broad query's scoring pass instead of burning CPU to
+// completion. A cancelled search returns ctx's error and no hits.
+func (ix *Index) SearchContext(ctx context.Context, query string, k int) ([]Hit, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if k <= 0 || len(ix.docs) == 0 {
-		return nil
+		return nil, nil
 	}
 	qToks := textutil.Tokenize(query)
 	if len(qToks) == 0 {
-		return nil
+		return nil, nil
 	}
 	n := float64(len(ix.docs))
 	avgLen := float64(ix.totalLen) / n
 	scores := make(map[string]float64)
+	visited := 0
 	for _, qt := range qToks {
 		post := ix.postings[qt.Text]
 		if len(post) == 0 {
@@ -133,10 +144,18 @@ func (ix *Index) Search(query string, k int) []Hit {
 		}
 		idf := math.Log(1 + (n-float64(len(post))+0.5)/(float64(len(post))+0.5))
 		for docID, tf := range post {
+			if visited++; visited&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			dl := float64(ix.docLen[docID])
 			denom := float64(tf) + k1*(1-b+b*dl/avgLen)
 			scores[docID] += idf * float64(tf) * (k1 + 1) / denom
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	hits := make([]Hit, 0, len(scores))
 	for docID, s := range scores {
@@ -151,5 +170,5 @@ func (ix *Index) Search(query string, k int) []Hit {
 	if k < len(hits) {
 		hits = hits[:k]
 	}
-	return hits
+	return hits, nil
 }

@@ -1,8 +1,10 @@
 package saga
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 
 	"saga/internal/annotate"
 	"saga/internal/embedding"
@@ -46,9 +48,28 @@ func (p *Platform) Graph() *Graph { return p.graph }
 func (p *Platform) Engine() *Engine { return p.engine }
 
 // QueryConjunctive evaluates a conjunctive triple-pattern query (the §1
-// "movies directed by X" shape) and returns all satisfying bindings.
+// "movies directed by X" shape) and returns all satisfying bindings,
+// sorted and deduplicated. It materializes the whole answer set; serving
+// paths should prefer QueryStream with a limit.
 func (p *Platform) QueryConjunctive(clauses []QueryClause) ([]QueryBinding, error) {
 	return p.engine.QueryConjunctive(clauses)
+}
+
+// QueryStream evaluates a conjunctive query as a stream: bindings yield
+// as the join produces them (deduplicated, deterministic order), a
+// QueryOptions.Limit terminates the solve early, a Cursor resumes after a
+// previous page's last binding, and Context/Timeout abort mid-join.
+// Errors yield as the final (nil, err) element. This is the serving-path
+// query surface behind POST /query.
+func (p *Platform) QueryStream(clauses []QueryClause, opts QueryOptions) iter.Seq2[QueryBinding, error] {
+	return p.engine.StreamConjunctive(clauses, opts)
+}
+
+// StreamQuery yields the triples matching a pattern — the iterator twin
+// of Engine.Query. The yield runs under the graph's read locks; the body
+// must not mutate the graph (see Engine.Stream).
+func (p *Platform) StreamQuery(pat Pattern) iter.Seq[Triple] {
+	return p.engine.Stream(pat)
 }
 
 // EmbeddingOptions configure Platform.TrainEmbeddings.
@@ -113,10 +134,16 @@ func (p *Platform) Dataset() *Dataset { return p.dataset }
 
 // RankFacts ranks (subject, predicate, *) facts by embedding score.
 func (p *Platform) RankFacts(subject EntityID, predicate PredicateID) ([]RankedFact, error) {
+	return p.RankFactsContext(context.Background(), subject, predicate)
+}
+
+// RankFactsContext is RankFacts with cancellation, for serving handlers
+// that should stop scoring when the client disconnects.
+func (p *Platform) RankFactsContext(ctx context.Context, subject EntityID, predicate PredicateID) ([]RankedFact, error) {
 	if p.embedSvc == nil {
 		return nil, errors.New("saga: embeddings not trained; call TrainEmbeddings first")
 	}
-	return p.embedSvc.RankFacts(subject, predicate)
+	return p.embedSvc.RankFactsContext(ctx, subject, predicate)
 }
 
 // CalibrateVerifier fits the fact-verification threshold from labelled
@@ -171,10 +198,17 @@ func (p *Platform) VerifyFact(subject EntityID, predicate PredicateID, object En
 
 // RelatedEntities returns the k most related entities.
 func (p *Platform) RelatedEntities(id EntityID, k int) ([]embedserve.ScoredEntity, error) {
+	return p.RelatedEntitiesContext(context.Background(), id, k)
+}
+
+// RelatedEntitiesContext is RelatedEntities with cancellation, for
+// serving handlers that should stop the kNN scan when the client
+// disconnects.
+func (p *Platform) RelatedEntitiesContext(ctx context.Context, id EntityID, k int) ([]embedserve.ScoredEntity, error) {
 	if p.embedSvc == nil {
 		return nil, errors.New("saga: embeddings not trained")
 	}
-	return p.embedSvc.RelatedEntities(id, k)
+	return p.embedSvc.RelatedEntitiesContext(ctx, id, k)
 }
 
 // BuildAnnotator stands up the semantic annotation service.

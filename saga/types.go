@@ -103,9 +103,15 @@ type (
 	QueryTerm = graphengine.Term
 	// QueryBinding maps variables to values in a query answer.
 	QueryBinding = graphengine.Binding
+	// QueryOptions configure one streaming query: limit push-down,
+	// cursor resumption, provenance routing, timeout, and cancellation.
+	QueryOptions = graphengine.QueryOptions
+	// QueryCursor is a binding's identity tuple, the resume position of
+	// a paginated conjunctive query.
+	QueryCursor = []kg.ValueKey
 )
 
-// Conjunctive-query term constructors.
+// Conjunctive-query term constructors and cursor helpers.
 var (
 	// QVar names a query variable.
 	QVar = graphengine.V
@@ -113,6 +119,14 @@ var (
 	QConst = graphengine.C
 	// QEntity binds a constant entity.
 	QEntity = graphengine.CE
+	// QueryBindingKey returns a binding's identity tuple (values in
+	// sorted-variable order) — the input to EncodeQueryCursor.
+	QueryBindingKey = graphengine.BindingKey
+	// EncodeQueryCursor serializes a binding key tuple into the opaque
+	// URL-safe resume token the /query endpoint hands out.
+	EncodeQueryCursor = graphengine.EncodeCursor
+	// DecodeQueryCursor parses a token produced by EncodeQueryCursor.
+	DecodeQueryCursor = graphengine.DecodeCursor
 )
 
 // NewEngine wraps a graph with query and view capabilities.
