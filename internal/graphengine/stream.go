@@ -58,6 +58,20 @@ type QueryOptions struct {
 	// StreamConjunctive.
 	Provenance bool
 
+	// NoDedup disables StreamConjunctive's duplicate collapse. The
+	// streaming dedup holds a seen-set entry per distinct row enumerated,
+	// so an unlimited stream over a huge answer set carries O(answers)
+	// memory; an aggregation that tolerates (or wants) multiplicity can
+	// set NoDedup and run in O(1) solver memory instead. With it set, a
+	// binding derivable along several join paths is yielded once per
+	// derivation, and cursor resumption (still supported) resumes after
+	// the first occurrence of the cursor row. The HTTP query surface is
+	// unaffected: it never sets NoDedup and always solves with a Limit,
+	// which bounds the seen-set at limit+1 entries. Pattern streams have
+	// no dedup to disable (an index never yields the same triple twice);
+	// the flag is a no-op for StreamPattern.
+	NoDedup bool
+
 	// Timeout bounds the solve's wall-clock time (0 = none). It is
 	// implemented as a context deadline layered over Context.
 	Timeout time.Duration
@@ -147,10 +161,13 @@ func streamConjunctive(g conjGraph, clauses []Clause, opts QueryOptions) iter.Se
 			bound:   make(Binding, len(vars)),
 			bufs:    make([][]kg.Triple, len(clauses)),
 			keys:    make([]kg.ValueKey, len(vars)),
-			seen:    make(map[string]struct{}),
+			dedup:   !opts.NoDedup,
 			limit:   opts.Limit,
 			ctx:     ctx,
 			yield:   yield,
+		}
+		if s.dedup {
+			s.seen = make(map[string]struct{})
 		}
 		if len(opts.Cursor) > 0 {
 			s.cursor = string(appendKeyTuple(nil, opts.Cursor))
@@ -190,6 +207,7 @@ type streamSolver struct {
 	bufs    [][]kg.Triple // per-depth candidate scratch, reused across siblings
 	keys    []kg.ValueKey // leaf key-tuple scratch
 	enc     []byte        // leaf key-encoding scratch
+	dedup   bool          // collapse duplicate rows (seen non-nil iff set)
 	seen    map[string]struct{}
 
 	cursor   string // encoded cursor tuple; "" = none
@@ -267,16 +285,21 @@ func (s *streamSolver) solve(idx int) bool {
 }
 
 // emit handles a complete binding at a leaf: streaming dedup on the key
-// tuple, cursor skip, limit accounting, and the yield itself.
+// tuple (unless NoDedup), cursor skip, limit accounting, and the yield
+// itself.
 func (s *streamSolver) emit() bool {
-	for i, name := range s.vars {
-		s.keys[i] = s.bound[name].MapKey()
+	if s.dedup || s.skipping {
+		for i, name := range s.vars {
+			s.keys[i] = s.bound[name].MapKey()
+		}
+		s.enc = appendKeyTuple(s.enc[:0], s.keys)
 	}
-	s.enc = appendKeyTuple(s.enc[:0], s.keys)
-	if _, dup := s.seen[string(s.enc)]; dup {
-		return true
+	if s.dedup {
+		if _, dup := s.seen[string(s.enc)]; dup {
+			return true
+		}
+		s.seen[string(s.enc)] = struct{}{}
 	}
-	s.seen[string(s.enc)] = struct{}{}
 	if s.skipping {
 		if string(s.enc) == s.cursor {
 			s.skipping = false

@@ -524,3 +524,94 @@ func TestPPRSparseMapReuse(t *testing.T) {
 		t.Fatalf("pprSparse allocations scale with iters: %0.1f at 4 iters vs %0.1f at 40", short, long)
 	}
 }
+
+// dupGraph wraps a graph so every posting-list enumeration yields each
+// subject twice — a synthetic duplicate source that lets the dedup tests
+// observe the seen-set directly (real indexes are set-semantic and never
+// repeat a row, so the streaming dedup is a guard the fixture must force).
+type dupGraph struct {
+	*kg.Graph
+}
+
+func (d *dupGraph) SubjectsWithFunc(p kg.PredicateID, o kg.Value, fn func(kg.EntityID) bool) {
+	d.Graph.SubjectsWithFunc(p, o, func(id kg.EntityID) bool {
+		if !fn(id) {
+			return false
+		}
+		return fn(id)
+	})
+}
+
+// NoDedup disables the streaming duplicate collapse: over a duplicate-
+// producing expansion the default stream yields each distinct binding
+// once, the NoDedup stream yields one row per derivation.
+func TestStreamNoDedup(t *testing.T) {
+	const nMembers = 16
+	g, clauses := streamFixture(t, nMembers)
+	dg := &dupGraph{Graph: g}
+
+	deduped := 0
+	for _, err := range streamConjunctive(dg, clauses, QueryOptions{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		deduped++
+	}
+	if deduped != nMembers {
+		t.Fatalf("deduped stream = %d rows, want %d", deduped, nMembers)
+	}
+
+	raw := 0
+	for _, err := range streamConjunctive(dg, clauses, QueryOptions{NoDedup: true}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw++
+	}
+	if raw != 2*nMembers {
+		t.Fatalf("NoDedup stream = %d rows, want %d (one per derivation)", raw, 2*nMembers)
+	}
+
+	// A limit still terminates the raw stream.
+	limited := 0
+	for _, err := range streamConjunctive(dg, clauses, QueryOptions{NoDedup: true, Limit: 3}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		limited++
+	}
+	if limited != 3 {
+		t.Fatalf("NoDedup limited stream = %d rows, want 3", limited)
+	}
+}
+
+// The planner's selectivity counters must read through the write path's
+// buffered pom deltas: facts asserted moments ago (still sitting in
+// shard-local delta buffers, nothing has forced a flush) must be visible
+// to estimates and expansions of the very next query.
+func TestPlannerCountersSeeBufferedWrites(t *testing.T) {
+	g := kg.NewGraphWithShards(8)
+	member, _ := g.AddPredicate(kg.Predicate{Name: "memberOf"})
+	team, err := g.AddEntity(kg.Entity{Key: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20 // far below the flush threshold: every delta stays buffered
+	for i := 0; i < n; i++ {
+		p, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Assert(kg.Triple{Subject: p, Predicate: member, Object: kg.EntityValue(team)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clause := Clause{Subject: V("p"), Predicate: member, Object: CE(team)}
+	if got := estimateOn(g, clause, Binding{}); got != n+1 {
+		t.Fatalf("estimate over buffered writes = %d, want %d", got, n+1)
+	}
+	rows := collectStream(t, New(g).StreamConjunctive([]Clause{clause}, QueryOptions{}))
+	if len(rows) != n {
+		t.Fatalf("stream over buffered writes = %d rows, want %d", len(rows), n)
+	}
+}

@@ -58,10 +58,21 @@ type graphShard struct {
 	mu sync.RWMutex
 
 	spo map[EntityID]map[PredicateID][]Triple
-	pos map[PredicateID]map[ValueKey][]EntityID
-	// osp maps object entity -> triples whose *subject* lives in this
-	// shard; incoming-edge reads merge the entry across all shards.
-	osp map[EntityID][]Triple
+	// pos counts, per (predicate, object key), how many of this shard's
+	// subjects assert the fact. It is the shard-local remnant of the old
+	// per-shard posting lists: the predicate-major index (pom.go) carries
+	// the actual merged subject postings, so duplicating them here only
+	// doubled reverse-index memory. The counts are enough for the
+	// shard-swept reference reads (SubjectsWithSweep skips shards with a
+	// zero count and stops its spo scan after `count` matches) and keep
+	// Retract's shard-local reverse maintenance O(1).
+	pos map[PredicateID]map[ValueKey]int
+	// osp maps object entity -> posting of triples whose *subject* lives
+	// in this shard; incoming-edge reads merge the entry across all
+	// shards. Postings tombstone instead of splicing once they grow hot
+	// (see ospPosting), so retracting an edge into a million-fan-in hub
+	// does not rescan the hub's posting.
+	osp map[EntityID]ospPosting
 
 	tripleKeys map[TripleKey]struct{}
 
@@ -70,13 +81,21 @@ type graphShard struct {
 	// so within one shard the log is strictly ascending in Seq.
 	log []Mutation
 
-	_ [40]byte // pad to 128 bytes
+	// pomPending buffers this shard's not-yet-applied predicate-major
+	// index deltas, appended under mu like the indexes above and drained
+	// to the pom stripes in batches (see pom.go). pomDirty mirrors
+	// len(pomPending) > 0 so readers can skip clean shards without taking
+	// the lock.
+	pomPending []pomDelta
+	pomDirty   atomic.Bool
+
+	_ [16]byte // pad to 128 bytes so neighboring shard mutexes don't share a line
 }
 
 func (sh *graphShard) init() {
 	sh.spo = make(map[EntityID]map[PredicateID][]Triple)
-	sh.pos = make(map[PredicateID]map[ValueKey][]EntityID)
-	sh.osp = make(map[EntityID][]Triple)
+	sh.pos = make(map[PredicateID]map[ValueKey]int)
+	sh.osp = make(map[EntityID]ospPosting)
 	sh.tripleKeys = make(map[TripleKey]struct{})
 }
 
@@ -108,9 +127,11 @@ func (sh *graphShard) init() {
 // # Index layout and key encoding
 //
 //	spo: subject -> predicate -> []Triple          (fact lookup, outgoing)
-//	pos: predicate -> ValueKey -> []EntityID       (reverse fact lookup,
-//	     restricted to the shard's subjects; SubjectsWithSweep merges it)
-//	osp: object-entity -> []Triple                 (incoming entity edges)
+//	pos: predicate -> ValueKey -> count            (shard-local reverse
+//	     fact counts; SubjectsWithSweep uses them to skip shards and
+//	     bound its spo scans)
+//	osp: object-entity -> ospPosting               (incoming entity edges;
+//	     tombstoned + position-mapped once hot, so retracts stay O(1))
 //	tripleKeys: set of TripleKey                   (SPO identity, dedup)
 //
 // Alongside the subject-sharded indexes lives the predicate-major
@@ -119,11 +140,37 @@ func (sh *graphShard) init() {
 // partitioned into fixed per-predicate lock stripes, with per-predicate
 // triple and entity-triple totals. Cross-subject probes (SubjectsWith,
 // SubjectsWithCount, PredicateFrequency, PredicateEntriesFunc,
-// ComputeStats) read one stripe instead of sweeping every shard. Writers
-// update the stripe inside the same shard critical section that applies
-// the mutation — shard lock first, stripe lock second, stripe locks
-// strictly leaf-level — so the all-shard read lock freezes the pom index
-// at the watermark exactly like the sharded indexes.
+// ComputeStats) read one stripe instead of sweeping every shard.
+//
+// The per-shard pos postings that PR 3 kept alongside pom were shrunk to
+// bare (pred, objKey) counts: the subject lists existed twice (once per
+// shard, once merged in pom), which roughly doubled reverse-index memory
+// for zero read benefit — every serving path reads pom. What the counts
+// still buy is a pom-independent reference read (SubjectsWithSweep
+// recovers the subjects from spo, using the counts to skip shards and
+// stop early) and O(1) shard-local reverse maintenance on Retract.
+//
+// # Write path and lock order
+//
+// Writers follow a strict shard lock -> delta buffer -> stripe flush
+// order. A mutation takes its subject shard's write lock, applies the
+// shard-local indexes synchronously, and appends a pom delta record to
+// the shard's buffer instead of touching the pom stripe inline; when the
+// buffer reaches the flush threshold the writer drains it to the stripes
+// (stripe locks strictly leaf-level, taken only while a shard write lock
+// is held, one acquisition per run of same-stripe records). Bulk
+// same-predicate ingestion therefore touches the hot predicate's stripe
+// once per buffer instead of once per triple, which is what lets
+// parallel writers on disjoint shards scale instead of serializing on
+// one stripe.
+//
+// Deferred maintenance is invisible to readers: every pom-reading
+// accessor first drains all dirty shard buffers (flush-on-read, a single
+// atomic check when the graph is clean), and the all-shard read lock
+// (rlockAll) re-drains until it observes a fully-applied state, so a
+// consistent cut still freezes the pom index at the watermark exactly
+// like the sharded indexes. SyncIndexes exposes the drain to batch
+// producers that want maintenance paid inside the write phase.
 //
 // Fact identity is the comparable TripleKey struct (subject ID, predicate
 // ID, object ValueKey); see ValueKey for the per-kind payload encoding.
@@ -169,7 +216,13 @@ type Graph struct {
 	shards    []graphShard
 
 	// pom is the predicate-major secondary index (see pom.go).
-	pom [pomStripeCount]pomStripe
+	// pomFlushAt is the per-shard delta-buffer length that triggers a
+	// flush; pomDirtyShards counts shards with non-empty buffers (only
+	// ever changed under that shard's write lock, so it is frozen while
+	// every shard's read lock is held).
+	pom            [pomStripeCount]pomStripe
+	pomFlushAt     int
+	pomDirtyShards atomic.Int64
 }
 
 // defaultShardCount returns GOMAXPROCS rounded up to a power of two,
@@ -193,16 +246,49 @@ func NewGraph() *Graph {
 }
 
 // NewGraphWithShards returns an empty graph with the given number of
-// write shards, rounded up to a power of two and clamped to [1, 256].
-// Shard count 1 degenerates to the classic single-lock graph; benchmarks
-// use it as the scaling baseline.
+// write shards, rounded up to a power of two and clamped to [1, 256]
+// (n <= 0 clamps to 1, the classic single-lock graph; benchmarks use it
+// as the scaling baseline — note the contrast with GraphOptions.Shards,
+// where 0 selects the GOMAXPROCS default).
 func NewGraphWithShards(n int) *Graph {
+	if n <= 0 {
+		n = 1
+	}
+	return NewGraphWithOptions(GraphOptions{Shards: n})
+}
+
+// GraphOptions configure NewGraphWithOptions. The zero value selects
+// every default.
+type GraphOptions struct {
+	// Shards is the write shard count, rounded up to a power of two and
+	// clamped to [1, 256]; 0 selects GOMAXPROCS rounded up.
+	Shards int
+	// PomFlushThreshold is the per-shard predicate-major delta-buffer
+	// length that triggers a flush to the pom stripes (see pom.go);
+	// 0 selects the default (256). 1 applies every record under its
+	// stripe lock inside the writer's critical section — the
+	// pre-buffering write path, kept as the ingestion benchmark baseline
+	// and as a tuning escape hatch for read-dominated deployments that
+	// would rather never pay a flush on a read.
+	PomFlushThreshold int
+}
+
+// NewGraphWithOptions returns an empty graph configured by opts.
+func NewGraphWithOptions(opts GraphOptions) *Graph {
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShardCount()
+	}
 	s := 1
 	for s < n {
 		s <<= 1
 	}
 	if s > 256 {
 		s = 256
+	}
+	flushAt := opts.PomFlushThreshold
+	if flushAt <= 0 {
+		flushAt = pomFlushThresholdDefault
 	}
 	g := &Graph{
 		ontology:   NewOntology(),
@@ -212,6 +298,7 @@ func NewGraphWithShards(n int) *Graph {
 		predByName: make(map[string]PredicateID),
 		shardMask:  uint32(s - 1),
 		shards:     make([]graphShard, s),
+		pomFlushAt: flushAt,
 	}
 	g.entLen.Store(1)
 	g.predLen.Store(1)
@@ -231,17 +318,52 @@ func (g *Graph) shardIndex(subj EntityID) uint32 { return uint32(subj) & g.shard
 
 func (g *Graph) shard(subj EntityID) *graphShard { return &g.shards[g.shardIndex(subj)] }
 
-// rlockAll acquires every shard's read lock in index order, freezing the
-// watermark and the whole triple state for a consistent cut.
-func (g *Graph) rlockAll() {
-	for i := range g.shards {
-		g.shards[i].mu.RLock()
+// rlockAll acquires every shard's lock in index order, freezing the
+// watermark and the whole triple state for a consistent cut. Buffered pom
+// deltas are drained first so the cut freezes the predicate-major index
+// at the watermark too; a writer can slip a new delta in between the
+// drain and the last lock acquisition, so the drain re-runs until a
+// fully-applied state is observed under the locks (pomDirtyShards only
+// changes under a shard write lock, so it is stable while every read
+// lock is held; writers queued behind our partially acquired read locks
+// usually make the second attempt succeed). The optimistic attempts are
+// bounded: under sustained writer pressure the final attempt takes every
+// shard's WRITE lock and drains under them — strictly stronger (writers
+// and readers excluded for the cut's duration) and guaranteed to
+// terminate, never a livelock. The returned mode must be passed to
+// runlockAll. A side effect of the drained guarantee: code running under
+// the all-shard cut can safely read the pom accessors, because their
+// flush-on-read check is necessarily clean.
+func (g *Graph) rlockAll() (writeMode bool) {
+	const optimisticAttempts = 4
+	for attempt := 0; attempt < optimisticAttempts; attempt++ {
+		if g.pomDirtyShards.Load() != 0 {
+			g.pomFlushDirtyShards()
+		}
+		for i := range g.shards {
+			g.shards[i].mu.RLock()
+		}
+		if g.pomDirtyShards.Load() == 0 {
+			return false
+		}
+		g.runlockAll(false)
 	}
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+	}
+	for i := range g.shards {
+		g.pomFlushShardLocked(&g.shards[i])
+	}
+	return true
 }
 
-func (g *Graph) runlockAll() {
+func (g *Graph) runlockAll(writeMode bool) {
 	for i := range g.shards {
-		g.shards[i].mu.RUnlock()
+		if writeMode {
+			g.shards[i].mu.Unlock()
+		} else {
+			g.shards[i].mu.RUnlock()
+		}
 	}
 }
 
@@ -432,15 +554,15 @@ func (g *Graph) assertShardLocked(sh *graphShard, t Triple, key TripleKey) bool 
 
 	byPred := sh.pos[t.Predicate]
 	if byPred == nil {
-		byPred = make(map[ValueKey][]EntityID)
+		byPred = make(map[ValueKey]int)
 		sh.pos[t.Predicate] = byPred
 	}
-	byPred[key.Object] = append(byPred[key.Object], t.Subject)
+	byPred[key.Object]++
 
 	if t.Object.IsEntity() {
-		sh.osp[t.Object.Entity] = append(sh.osp[t.Object.Entity], t)
+		sh.osp[t.Object.Entity] = sh.osp[t.Object.Entity].add(t, key)
 	}
-	g.pomAssertLocked(t.Subject, t.Predicate, key.Object)
+	g.pomBufferLocked(sh, t.Predicate, t.Subject, key.Object, true)
 
 	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpAssert, T: t})
 	return true
@@ -463,6 +585,13 @@ func (g *Graph) AssertAll(ts []Triple) error {
 // triples whose SPO identity already existed in the graph, or that repeat
 // an identity earlier in the batch (first occurrence in input order
 // wins), are skipped.
+//
+// Input already sorted by SPO identity (the order AllTriples emits, i.e.
+// what a disk restore or a sorted bulk load feeds back) is detected in
+// O(n) and takes a merge-append path: a stable counting bucket by shard
+// replaces the O(n log n) comparison sort, because a subject maps to
+// exactly one shard, so a globally identity-sorted batch is already
+// identity-sorted within every shard bucket.
 func (g *Graph) AssertBatch(ts []Triple) (added int, err error) {
 	if len(ts) == 0 {
 		return 0, nil
@@ -477,6 +606,40 @@ func (g *Graph) AssertBatch(ts []Triple) (added int, err error) {
 	for i := range ts {
 		keys[i] = ts[i].IdentityKey()
 		order[i] = int32(i)
+	}
+	sorted := true
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].Compare(keys[i]) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		// Merge-append: stable-bucket the already-ordered input by shard.
+		// Within each bucket the input order is preserved, which is both
+		// the identity order (the input is globally sorted and a subject
+		// never spans shards) and the first-occurrence-wins tie-break for
+		// in-batch duplicates (equal keys are adjacent in a sorted input).
+		starts := make([]int32, len(g.shards)+1)
+		for i := range keys {
+			starts[g.shardIndex(keys[i].Subject)+1]++
+		}
+		for s := 0; s < len(g.shards); s++ {
+			starts[s+1] += starts[s]
+		}
+		cur := append([]int32(nil), starts[:len(g.shards)]...)
+		for i := range keys {
+			s := g.shardIndex(keys[i].Subject)
+			order[cur[s]] = int32(i)
+			cur[s]++
+		}
+		for s := 0; s < len(g.shards); s++ {
+			if starts[s] == starts[s+1] {
+				continue
+			}
+			added += g.assertShardBatch(&g.shards[s], ts, keys, order[starts[s]:starts[s+1]])
+		}
+		return added, nil
 	}
 	// Sort by (shard, identity key, input index): shard grouping gives one
 	// lock acquisition per shard, key ordering makes duplicates adjacent
@@ -549,17 +712,17 @@ func (g *Graph) assertShardBatch(sh *graphShard, ts []Triple, keys []TripleKey, 
 			lst = append(lst, t)
 			byPred := sh.pos[t.Predicate]
 			if byPred == nil {
-				byPred = make(map[ValueKey][]EntityID)
+				byPred = make(map[ValueKey]int)
 				sh.pos[t.Predicate] = byPred
 			}
-			byPred[k.Object] = append(byPred[k.Object], t.Subject)
+			byPred[k.Object]++
 			if t.Object.IsEntity() {
-				sh.osp[t.Object.Entity] = append(sh.osp[t.Object.Entity], t)
+				sh.osp[t.Object.Entity] = sh.osp[t.Object.Entity].add(t, k)
 			}
+			g.pomBufferLocked(sh, t.Predicate, t.Subject, k.Object, true)
 			sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpAssert, T: t})
 		}
 		bySubj[t0.Predicate] = lst
-		g.pomAssertRunLocked(t0.Predicate, t0.Subject, keys, run)
 		i = j
 	}
 	return len(kept)
@@ -587,21 +750,26 @@ func (g *Graph) Retract(t Triple) bool {
 		}
 	}
 	if byPred := sh.pos[t.Predicate]; byPred != nil {
-		byPred[key.Object] = removeEntity(byPred[key.Object], t.Subject)
-		if len(byPred[key.Object]) == 0 {
+		if n := byPred[key.Object]; n <= 1 {
 			delete(byPred, key.Object)
+		} else {
+			byPred[key.Object] = n - 1
 		}
 		if len(byPred) == 0 {
 			delete(sh.pos, t.Predicate)
 		}
 	}
 	if t.Object.IsEntity() {
-		sh.osp[t.Object.Entity] = removeTriple(sh.osp[t.Object.Entity], key)
-		if len(sh.osp[t.Object.Entity]) == 0 {
-			delete(sh.osp, t.Object.Entity)
+		if p, ok := sh.osp[t.Object.Entity]; ok {
+			p = p.remove(key)
+			if p.live() == 0 {
+				delete(sh.osp, t.Object.Entity)
+			} else {
+				sh.osp[t.Object.Entity] = p
+			}
 		}
 	}
-	g.pomRetractLocked(t.Subject, t.Predicate, key.Object)
+	g.pomBufferLocked(sh, t.Predicate, t.Subject, key.Object, false)
 
 	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpRetract, T: t})
 	return true
@@ -628,6 +796,76 @@ func removeEntity(es []EntityID, e EntityID) []EntityID {
 		}
 	}
 	return es
+}
+
+// ospPosting is one object entity's incoming-edge posting within a shard.
+// Short postings splice on removal like any small slice. The first
+// removal from a posting that has grown past postingIdxThreshold builds a
+// position map (identity -> slot) and switches the posting to tombstoning:
+// removals zero the slot in O(1) and the posting compacts in place once
+// half its slots are dead, so retract cost is amortized O(1) regardless
+// of how many edges point at the hub. Write-once bulk loads never pay for
+// the map — it exists only after a hot posting's first retract. The zero
+// Triple (Subject == NoEntity, an ID never assigned) is the tombstone;
+// readers skip it. This is the deliberate monomorphic twin of pom.go's
+// posting type (see the note there): invariant changes must be mirrored.
+type ospPosting struct {
+	triples []Triple
+	dead    int
+	idx     map[TripleKey]int32
+}
+
+func (p ospPosting) live() int { return len(p.triples) - p.dead }
+
+func (p ospPosting) add(t Triple, key TripleKey) ospPosting {
+	if p.idx != nil {
+		p.idx[key] = int32(len(p.triples))
+	}
+	p.triples = append(p.triples, t)
+	return p
+}
+
+func (p ospPosting) remove(key TripleKey) ospPosting {
+	if p.idx == nil {
+		if len(p.triples) < postingIdxThreshold {
+			p.triples = removeTriple(p.triples, key)
+			return p
+		}
+		p.idx = make(map[TripleKey]int32, len(p.triples))
+		for i := range p.triples {
+			p.idx[p.triples[i].IdentityKey()] = int32(i)
+		}
+	}
+	slot, ok := p.idx[key]
+	if !ok {
+		return p
+	}
+	p.triples[slot] = Triple{}
+	delete(p.idx, key)
+	p.dead++
+	if p.dead*2 >= len(p.triples) {
+		p = p.compact()
+	}
+	return p
+}
+
+// compact drops tombstones in place and rebuilds the live slots'
+// positions. The position map only ever holds live identities, so
+// re-pointing them is a full rebuild of the map's values but never leaves
+// stale keys behind.
+func (p ospPosting) compact() ospPosting {
+	live := p.triples[:0]
+	for i := range p.triples {
+		if p.triples[i].Subject != NoEntity {
+			live = append(live, p.triples[i])
+		}
+	}
+	p.triples = live
+	p.dead = 0
+	for i := range p.triples {
+		p.idx[p.triples[i].IdentityKey()] = int32(i)
+	}
+	return p
 }
 
 // Facts returns all triples with the given subject and predicate.
@@ -722,7 +960,14 @@ func (g *Graph) Incoming(obj EntityID) []Triple {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		out = append(out, sh.osp[obj]...)
+		if p, ok := sh.osp[obj]; ok {
+			out = slices.Grow(out, p.live())
+			for j := range p.triples {
+				if p.triples[j].Subject != NoEntity {
+					out = append(out, p.triples[j])
+				}
+			}
+		}
 		sh.mu.RUnlock()
 	}
 	return out
@@ -735,8 +980,12 @@ func (g *Graph) IncomingFunc(obj EntityID, fn func(Triple) bool) {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		for _, t := range sh.osp[obj] {
-			if !fn(t) {
+		p := sh.osp[obj]
+		for j := range p.triples {
+			if p.triples[j].Subject == NoEntity {
+				continue
+			}
+			if !fn(p.triples[j]) {
 				sh.mu.RUnlock()
 				return
 			}
@@ -781,8 +1030,8 @@ func (g *Graph) NumTriples() int {
 // the duration, so the iteration is one consistent cut; fn must not
 // mutate the graph.
 func (g *Graph) Triples(fn func(Triple) bool) {
-	g.rlockAll()
-	defer g.runlockAll()
+	wm := g.rlockAll()
+	defer g.runlockAll(wm)
 	g.triplesLocked(fn)
 }
 
@@ -807,8 +1056,8 @@ func (g *Graph) triplesLocked(fn func(Triple) bool) {
 // pair: the visited triples are exactly the state after the first `seq`
 // mutations.
 func (g *Graph) TriplesSnapshot(fn func(Triple) bool) (seq uint64) {
-	g.rlockAll()
-	defer g.runlockAll()
+	wm := g.rlockAll()
+	defer g.runlockAll(wm)
 	g.triplesLocked(fn)
 	return g.seq.Load()
 }
@@ -818,8 +1067,8 @@ func (g *Graph) TriplesSnapshot(fn func(Triple) bool) (seq uint64) {
 // precomputed once per triple instead of being rebuilt O(n log n) times
 // inside the sort comparator.
 func (g *Graph) AllTriples() []Triple {
-	g.rlockAll()
-	defer g.runlockAll()
+	wm := g.rlockAll()
+	defer g.runlockAll(wm)
 	total := 0
 	for i := range g.shards {
 		total += len(g.shards[i].tripleKeys)
@@ -904,8 +1153,8 @@ func (g *Graph) mutationsSinceLocked(seq uint64) []Mutation {
 // numbers strictly greater than seq, in ascending sequence order, merged
 // across the per-shard sub-logs under one consistent all-shard cut.
 func (g *Graph) MutationsSince(seq uint64) []Mutation {
-	g.rlockAll()
-	defer g.runlockAll()
+	wm := g.rlockAll()
+	defer g.runlockAll(wm)
 	return g.mutationsSinceLocked(seq)
 }
 

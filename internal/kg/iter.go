@@ -14,11 +14,15 @@ import "iter"
 // and it must not call back into the triple indexes (Facts, Outgoing,
 // HasFact, SubjectsWith, ...): a read on a subject hashing to the same
 // shard re-enters the shard's RWMutex, which deadlocks when a writer is
-// queued between the two acquisitions. Dictionary reads (Entity,
-// Predicate, Ontology) are safe — their lock is never held together with
-// a shard lock by any writer. Consumers that need to join streamed
-// elements against further index reads should buffer a batch first (see
-// graphengine's conjunctive solver) or use the slice accessors.
+// queued between the two acquisitions — and the pom accessors
+// (SubjectsWith, PredicateFrequency, ...) may additionally take shard
+// *write* locks to drain buffered index deltas, which self-deadlocks
+// against any shard read lock the body already holds. Dictionary reads
+// (Entity, Predicate, Ontology) are safe — their lock is never held
+// together with a shard lock by any writer. Consumers that need to join
+// streamed elements against further index reads should buffer a batch
+// first (see graphengine's conjunctive solver) or use the slice
+// accessors.
 
 // FactsSeq streams the (subj, pred) triples in assertion order. It is the
 // iterator twin of Facts/FactsFunc.
@@ -48,10 +52,12 @@ func (g *Graph) IncomingSeq(obj EntityID) iter.Seq[Triple] {
 }
 
 // SubjectsWithSeq streams the posting list of subjects carrying
-// (pred, obj) facts, in assertion order, under one pom-stripe read lock —
-// posting-list iteration with early stop, where SubjectsWith copies the
-// whole list up front. It is the iterator twin of SubjectsWith/
-// SubjectsWithFunc.
+// (pred, obj) facts under one pom-stripe read lock — posting-list
+// iteration with early stop, where SubjectsWith copies the whole list up
+// front. Order is the posting order: per-shard assertion order, with a
+// fixed but unspecified interleaving across shards (deterministic for a
+// fixed graph state, which is what cursor replays rely on). It is the
+// iterator twin of SubjectsWith/SubjectsWithFunc.
 func (g *Graph) SubjectsWithSeq(pred PredicateID, obj Value) iter.Seq[EntityID] {
 	return func(yield func(EntityID) bool) {
 		g.SubjectsWithFunc(pred, obj, yield)

@@ -3,40 +3,158 @@ package kg
 import "sync"
 
 // The predicate-major secondary index ("pom": predicate → object key →
-// posting list of subjects). The per-shard pos index answers "which of
-// MY subjects carry (pred, obj)?", so any cross-subject probe — the
-// bound-object clause of a conjunctive query, a selectivity estimate —
-// has to sweep every shard. The pom index holds the same postings merged
-// across shards, partitioned by predicate into fixed lock stripes, so
-// one stripe read-lock answers the whole-graph question. Per-predicate
+// posting list of subjects). Any cross-subject probe — the bound-object
+// clause of a conjunctive query, a selectivity estimate — would otherwise
+// have to sweep every subject shard; the pom index holds the postings
+// merged across shards, partitioned by predicate into fixed lock stripes,
+// so one stripe read-lock answers the whole-graph question. Per-predicate
 // totals ride along, making PredicateFrequency and the planner's cost
 // estimates O(1) count lookups instead of shard sweeps or slice builds.
 //
+// # Deferred maintenance (delta buffers)
+//
+// Writers do not touch the stripes inline. Each mutation appends a
+// pomDelta record (pred, objKey, subj, ±1) to its subject shard's buffer
+// while holding the shard write lock, and the buffer drains to the
+// stripes — in record order, one stripe acquisition per run of
+// same-stripe records — when it reaches the graph's flush threshold.
+// Same-predicate parallel ingestion therefore takes the hot predicate's
+// stripe lock once per buffer instead of once per triple, which removes
+// the cross-shard stripe serialization that taxed parallel writers.
+//
+// Readers never observe the deferral: every pom accessor starts with
+// pomSync, which drains all dirty shards' buffers when the graph-level
+// dirty count is non-zero (one atomic load when clean — the read-heavy
+// fast path costs nothing). A mutation that returned before the read
+// began has its record in some buffer by then, so flush-on-read
+// preserves read-your-writes; records of concurrent in-flight mutations
+// may or may not be seen, exactly as before buffering.
+//
 // # Locking and watermark contract
 //
-// Stripe locks are strictly leaf-level: writers update a stripe while
-// holding the mutating shard's write lock (shard lock first, stripe lock
-// second, released before the shard critical section ends); readers take
-// only the stripe read lock and never a shard lock inside it. Because
-// every pom write happens under some shard write lock, holding every
-// shard's read lock (rlockAll) freezes the pom index too — a consistent
-// all-shard cut at watermark w observes pom postings reflecting exactly
-// the first w mutations. A plain pom read is internally consistent for
-// its predicate's stripe and as fresh as the moment the stripe lock was
-// taken, the same semantics the shard-swept SubjectsWith offered per
-// shard.
+// Stripe locks are strictly leaf-level: they are only ever taken while
+// holding either the flushing shard's write lock (writer-triggered and
+// reader-triggered drains both flush under the shard lock) or no shard
+// lock at all (plain stripe reads). Readers holding a stripe lock never
+// acquire a shard lock inside it. Because every stripe write happens
+// under some shard write lock, the all-shard read lock (rlockAll, which
+// additionally re-drains until it observes every buffer empty) freezes
+// the pom index — a consistent cut at watermark w observes pom postings
+// reflecting exactly the first w mutations. A plain pom read is
+// internally consistent for its predicate's stripe and as fresh as the
+// moment the stripe lock was taken.
+//
+// # Posting lists and O(1) retract
+//
+// Postings are append-ordered subject lists. Removal from a short list
+// splices; the first removal from a list that has grown past
+// postingIdxThreshold builds a subject → slot position map and switches
+// the list to tombstoning (slot zeroed in O(1), compaction once half the
+// slots are dead), so retracting from a hot posting — millions of
+// subjects sharing one (type, Person) pair — costs amortized O(1)
+// instead of a linear rescan. Bulk write-once loads never build the map.
 
 // pomStripeCount is the number of predicate lock stripes. Predicates are
 // few (hundreds, not millions); 64 stripes keeps writer collisions on
 // distinct predicates rare while bounding the fixed per-graph footprint.
 const pomStripeCount = 64
 
+// pomFlushThresholdDefault is the per-shard delta-buffer length that
+// triggers a writer-side flush. Large enough to amortize a stripe
+// acquisition over many same-predicate records, small enough that a
+// reader-triggered drain of every shard stays cheap (shards × threshold
+// records worst case).
+const pomFlushThresholdDefault = 256
+
+// postingIdxThreshold is the posting length at which removal switches
+// from linear splice to the position-map + tombstone scheme. Below it a
+// splice touches at most a cache line or two; above it the one-time map
+// build is amortized over the asserts that grew the list.
+const postingIdxThreshold = 64
+
+// pomDelta is one buffered maintenance record: apply (add) or remove
+// subj from the (pred, obj) posting.
+type pomDelta struct {
+	pred PredicateID
+	subj EntityID
+	obj  ValueKey
+	add  bool
+}
+
+// posting is one (pred, obj) subject list. Same tombstone scheme as
+// ospPosting (see graph.go): idx is nil until the first removal from a
+// long list, NoEntity marks dead slots, live() is the true cardinality.
+// The two types are deliberately parallel monomorphic implementations —
+// a shared generic would put a non-inlinable key-function call on the
+// hot add path — so a change to either's invariants (threshold,
+// compaction trigger, idx-build condition) must be mirrored in the other.
+type posting struct {
+	subs []EntityID
+	dead int
+	idx  map[EntityID]int32
+}
+
+func (p posting) live() int { return len(p.subs) - p.dead }
+
+func (p posting) add(subj EntityID) posting {
+	if p.idx != nil {
+		p.idx[subj] = int32(len(p.subs))
+	}
+	p.subs = append(p.subs, subj)
+	return p
+}
+
+func (p posting) remove(subj EntityID) posting {
+	if p.idx == nil {
+		if len(p.subs) < postingIdxThreshold {
+			p.subs = removeEntity(p.subs, subj)
+			return p
+		}
+		p.idx = make(map[EntityID]int32, len(p.subs))
+		for i, s := range p.subs {
+			p.idx[s] = int32(i)
+		}
+	}
+	slot, ok := p.idx[subj]
+	if !ok {
+		return p
+	}
+	p.subs[slot] = NoEntity
+	delete(p.idx, subj)
+	p.dead++
+	if p.dead*2 >= len(p.subs) {
+		p = p.compact()
+	}
+	return p
+}
+
+// compact drops tombstones in place (preserving assertion order) and
+// re-points the surviving subjects' slots.
+func (p posting) compact() posting {
+	live := p.subs[:0]
+	for _, s := range p.subs {
+		if s != NoEntity {
+			live = append(live, s)
+		}
+	}
+	p.subs = live
+	p.dead = 0
+	for i, s := range p.subs {
+		p.idx[s] = int32(i)
+	}
+	return p
+}
+
 // predPostings holds one predicate's postings and counters.
 type predPostings struct {
-	// objs maps object identity -> subjects asserting (pred, obj).
-	// Subjects are unique within a list (the graph dedups SPO identity)
-	// and appear in assertion order.
-	objs map[ValueKey][]EntityID
+	// objs maps object identity -> the posting of subjects asserting
+	// (pred, obj). Subjects are unique within a posting (the graph dedups
+	// SPO identity) and appear in per-shard assertion order; across
+	// shards the interleaving is the order the shards' delta buffers
+	// drained, which is fixed for a fixed graph state but not the global
+	// mutation order (it never was observable as such: pre-buffering, the
+	// interleaving was the writers' stripe-acquisition order).
+	objs map[ValueKey]posting
 	// total is the number of (pred, *) triples; entityTotal the subset
 	// whose object is an entity.
 	total       int
@@ -56,72 +174,127 @@ func (g *Graph) pomStripe(pred PredicateID) *pomStripe {
 	return &g.pom[uint32(pred)&(pomStripeCount-1)]
 }
 
-// pomAssertLocked records one newly added triple in the pom index. The
-// caller holds the subject shard's write lock.
-func (g *Graph) pomAssertLocked(subj EntityID, pred PredicateID, obj ValueKey) {
-	st := g.pomStripe(pred)
-	st.mu.Lock()
-	pp := st.preds[pred]
-	if pp == nil {
-		pp = &predPostings{objs: make(map[ValueKey][]EntityID)}
-		st.preds[pred] = pp
-	}
-	pp.objs[obj] = append(pp.objs[obj], subj)
-	pp.total++
-	if obj.Kind == KindEntity {
-		pp.entityTotal++
-	}
-	st.mu.Unlock()
-}
-
-// pomAssertRunLocked records a sorted same-(subject, predicate) run of
-// newly added triples under one stripe lock acquisition. The caller holds
-// the subject shard's write lock.
-func (g *Graph) pomAssertRunLocked(pred PredicateID, subj EntityID, keys []TripleKey, run []int32) {
-	st := g.pomStripe(pred)
-	st.mu.Lock()
-	pp := st.preds[pred]
-	if pp == nil {
-		pp = &predPostings{objs: make(map[ValueKey][]EntityID)}
-		st.preds[pred] = pp
-	}
-	for _, oi := range run {
-		obj := keys[oi].Object
-		pp.objs[obj] = append(pp.objs[obj], subj)
-		if obj.Kind == KindEntity {
+// apply plays one delta record into the stripe. The caller holds the
+// stripe write lock.
+func (st *pomStripe) apply(d *pomDelta) {
+	pp := st.preds[d.pred]
+	if d.add {
+		if pp == nil {
+			pp = &predPostings{objs: make(map[ValueKey]posting)}
+			st.preds[d.pred] = pp
+		}
+		pp.objs[d.obj] = pp.objs[d.obj].add(d.subj)
+		pp.total++
+		if d.obj.Kind == KindEntity {
 			pp.entityTotal++
 		}
+		return
 	}
-	pp.total += len(run)
-	st.mu.Unlock()
+	if pp == nil {
+		return
+	}
+	if p, ok := pp.objs[d.obj]; ok {
+		p = p.remove(d.subj)
+		if p.live() == 0 {
+			delete(pp.objs, d.obj)
+		} else {
+			pp.objs[d.obj] = p
+		}
+	}
+	pp.total--
+	if d.obj.Kind == KindEntity {
+		pp.entityTotal--
+	}
+	if pp.total == 0 {
+		delete(st.preds, d.pred)
+	}
 }
 
-// pomRetractLocked removes one retracted triple from the pom index. The
-// caller holds the subject shard's write lock.
-func (g *Graph) pomRetractLocked(subj EntityID, pred PredicateID, obj ValueKey) {
-	st := g.pomStripe(pred)
-	st.mu.Lock()
-	if pp := st.preds[pred]; pp != nil {
-		pp.objs[obj] = removeEntity(pp.objs[obj], subj)
-		if len(pp.objs[obj]) == 0 {
-			delete(pp.objs, obj)
-		}
-		pp.total--
-		if obj.Kind == KindEntity {
-			pp.entityTotal--
-		}
-		if pp.total == 0 {
-			delete(st.preds, pred)
-		}
+// pomBufferLocked appends one maintenance record to the shard's delta
+// buffer, draining it when it reaches the graph's flush threshold. The
+// caller holds sh's write lock. Within one shard the buffer preserves
+// mutation order, and a (pred, obj, subj) triplet is owned by exactly one
+// shard (its subject's), so records affecting the same posting slot can
+// never be reordered across buffers.
+func (g *Graph) pomBufferLocked(sh *graphShard, pred PredicateID, subj EntityID, obj ValueKey, add bool) {
+	if len(sh.pomPending) == 0 {
+		sh.pomDirty.Store(true)
+		g.pomDirtyShards.Add(1)
 	}
-	st.mu.Unlock()
+	sh.pomPending = append(sh.pomPending, pomDelta{pred: pred, subj: subj, obj: obj, add: add})
+	if len(sh.pomPending) >= g.pomFlushAt {
+		g.pomFlushShardLocked(sh)
+	}
 }
+
+// pomFlushShardLocked applies and clears sh's buffered deltas, holding
+// each stripe lock across the maximal run of consecutive same-stripe
+// records (for bulk same-predicate ingestion that is one acquisition for
+// the whole buffer). The caller holds sh's write lock; stripe locks stay
+// strictly leaf-level.
+func (g *Graph) pomFlushShardLocked(sh *graphShard) {
+	if len(sh.pomPending) == 0 {
+		return
+	}
+	var st *pomStripe
+	for i := range sh.pomPending {
+		d := &sh.pomPending[i]
+		next := g.pomStripe(d.pred)
+		if next != st {
+			if st != nil {
+				st.mu.Unlock()
+			}
+			st = next
+			st.mu.Lock()
+		}
+		st.apply(d)
+	}
+	if st != nil {
+		st.mu.Unlock()
+	}
+	sh.pomPending = sh.pomPending[:0]
+	sh.pomDirty.Store(false)
+	g.pomDirtyShards.Add(-1)
+}
+
+// pomSync makes the pom index current before a read: a single atomic
+// check when no shard has buffered deltas (the read-heavy fast path),
+// otherwise a drain of every dirty shard. Callers must hold no stripe or
+// shard lock (the drain takes shard write locks).
+func (g *Graph) pomSync() {
+	if g.pomDirtyShards.Load() == 0 {
+		return
+	}
+	g.pomFlushDirtyShards()
+}
+
+// pomFlushDirtyShards drains every shard whose delta buffer is non-empty,
+// one shard at a time.
+func (g *Graph) pomFlushDirtyShards() {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		if !sh.pomDirty.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		g.pomFlushShardLocked(sh)
+		sh.mu.Unlock()
+	}
+}
+
+// SyncIndexes applies every buffered predicate-major index delta. Reads
+// never require it — pom accessors drain buffers themselves — but batch
+// producers (disk restore, ODKE write-back) can call it to pay the
+// maintenance inside the write phase, keeping the first post-ingest read
+// on its lock-free fast path.
+func (g *Graph) SyncIndexes() { g.pomSync() }
 
 // SubjectsWith returns the subjects that carry (pred, obj) facts, read
 // from the predicate-major index under a single stripe lock (one
 // consistent point for the whole predicate, where the shard-swept variant
 // could interleave with writers between shards). Order is unspecified.
 func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
+	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -129,12 +302,16 @@ func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
 	if pp == nil {
 		return nil
 	}
-	lst := pp.objs[obj.MapKey()]
-	if len(lst) == 0 {
+	p, ok := pp.objs[obj.MapKey()]
+	if !ok || p.live() == 0 {
 		return nil
 	}
-	out := make([]EntityID, len(lst))
-	copy(out, lst)
+	out := make([]EntityID, 0, p.live())
+	for _, s := range p.subs {
+		if s != NoEntity {
+			out = append(out, s)
+		}
+	}
 	return out
 }
 
@@ -142,6 +319,7 @@ func (g *Graph) SubjectsWith(pred PredicateID, obj Value) []EntityID {
 // under the stripe read lock, stopping early if fn returns false. It is
 // the copy-free counterpart of SubjectsWith; fn must not mutate the graph.
 func (g *Graph) SubjectsWithFunc(pred PredicateID, obj Value, fn func(EntityID) bool) {
+	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -149,7 +327,10 @@ func (g *Graph) SubjectsWithFunc(pred PredicateID, obj Value, fn func(EntityID) 
 	if pp == nil {
 		return
 	}
-	for _, s := range pp.objs[obj.MapKey()] {
+	for _, s := range pp.objs[obj.MapKey()].subs {
+		if s == NoEntity {
+			continue
+		}
 		if !fn(s) {
 			return
 		}
@@ -159,8 +340,10 @@ func (g *Graph) SubjectsWithFunc(pred PredicateID, obj Value, fn func(EntityID) 
 // SubjectsWithCount returns the number of subjects carrying (pred, obj)
 // facts without materializing the posting list. It is the planner's
 // bound-object selectivity probe: one stripe read lock, two map lookups,
-// zero allocations.
+// zero allocations (plus a delta drain when writers have buffered work —
+// see pomSync).
 func (g *Graph) SubjectsWithCount(pred PredicateID, obj Value) int {
+	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -168,22 +351,40 @@ func (g *Graph) SubjectsWithCount(pred PredicateID, obj Value) int {
 	if pp == nil {
 		return 0
 	}
-	return len(pp.objs[obj.MapKey()])
+	return pp.objs[obj.MapKey()].live()
 }
 
-// SubjectsWithSweep answers SubjectsWith from the per-shard pos indexes,
-// visiting shards one at a time (each shard's contribution internally
-// consistent, writers may land between visits). It is the index-free
-// reference implementation the pom property tests and the E13 benchmark
-// baseline compare against; serving paths use SubjectsWith.
+// SubjectsWithSweep answers SubjectsWith from the subject-sharded indexes
+// alone, never touching the predicate-major index: per shard, the pos
+// count for (pred, obj) gates a bounded spo scan that recovers the
+// matching subjects (shards with a zero count are skipped; the scan stops
+// once the counted matches are found). Shards are visited one at a time
+// (each contribution internally consistent, writers may land between
+// visits). It is the index-free reference implementation the pom property
+// tests compare against and the E13 benchmark baseline; serving paths use
+// SubjectsWith. Since the pos shrink it costs a shard spo scan rather
+// than a posting read — the price of keeping one reverse index instead of
+// two.
 func (g *Graph) SubjectsWithSweep(pred PredicateID, obj Value) []EntityID {
 	key := obj.MapKey()
 	var out []EntityID
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		if byPred := sh.pos[pred]; byPred != nil {
-			out = append(out, byPred[key]...)
+		if want := sh.pos[pred][key]; want > 0 {
+			found := 0
+			for subj, bySubj := range sh.spo {
+				for _, t := range bySubj[pred] {
+					if t.Object.MapKey() == key {
+						out = append(out, subj)
+						found++
+						break
+					}
+				}
+				if found == want {
+					break
+				}
+			}
 		}
 		sh.mu.RUnlock()
 	}
@@ -193,6 +394,7 @@ func (g *Graph) SubjectsWithSweep(pred PredicateID, obj Value) []EntityID {
 // PredicateFrequency returns the current number of triples using pred —
 // an O(1) counter read from the predicate-major index, not a shard sweep.
 func (g *Graph) PredicateFrequency(pred PredicateID) int {
+	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -208,6 +410,7 @@ func (g *Graph) PredicateFrequency(pred PredicateID) int {
 // and iteration order is unspecified. fn runs under the stripe read lock
 // and must not mutate the graph.
 func (g *Graph) PredicateEntriesFunc(pred PredicateID, fn func(obj Value, subj EntityID) bool) {
+	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -215,9 +418,12 @@ func (g *Graph) PredicateEntriesFunc(pred PredicateID, fn func(obj Value, subj E
 	if pp == nil {
 		return
 	}
-	for key, subjects := range pp.objs {
+	for key, p := range pp.objs {
 		obj := key.Value()
-		for _, s := range subjects {
+		for _, s := range p.subs {
+			if s == NoEntity {
+				continue
+			}
 			if !fn(obj, s) {
 				return
 			}

@@ -292,3 +292,95 @@ func TestValueKeyRoundTrip(t *testing.T) {
 		t.Error("zero key must reconstruct the invalid zero Value")
 	}
 }
+
+// Retract-heavy churn on hot postings under the race detector: 4 writers
+// interleave Assert/Retract/AssertBatch with a retract-biased mix over a
+// deliberately small (pred, obj) space, so posting lists grow past
+// postingIdxThreshold, build their position maps, tombstone, and compact
+// while readers (including the shard-swept reference) hammer the
+// accessors. When the writers drain, the tombstoned predicate-major index
+// must agree exactly with SubjectsWithSweep.
+func TestPomRetractHeavyConcurrentChurn(t *testing.T) {
+	g := NewGraphWithShards(8)
+	const nEnts = 512
+	const nPreds = 3
+	ents := make([]EntityID, nEnts)
+	for i := range ents {
+		id, err := g.AddEntity(Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents[i] = id
+	}
+	preds := make([]PredicateID, nPreds)
+	for i := range preds {
+		id, err := g.AddPredicate(Predicate{Name: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = id
+	}
+	// A handful of hot objects: postings concentrate to hundreds of
+	// subjects each, the shape the tombstone path exists for.
+	objs := pomTestObjects(ents[:2])
+
+	var done atomic.Bool
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 31))
+			var batch []Triple
+			for i := 0; i < 2500; i++ {
+				tr := Triple{
+					Subject:   ents[rng.Intn(nEnts)],
+					Predicate: preds[rng.Intn(nPreds)],
+					Object:    objs[rng.Intn(len(objs))],
+				}
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					if err := g.Assert(tr); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3, 4, 5, 6: // retract-biased
+					g.Retract(tr)
+				case 7, 8:
+					batch = append(batch, tr)
+				default:
+					if _, err := g.AssertBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if _, err := g.AssertBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for !done.Load() {
+				p := preds[rng.Intn(nPreds)]
+				o := objs[rng.Intn(len(objs))]
+				_ = g.SubjectsWith(p, o)
+				_ = g.SubjectsWithCount(p, o)
+				_ = g.SubjectsWithSweep(p, o)
+				_ = g.PredicateFrequency(p)
+				if rng.Intn(8) == 0 {
+					_ = g.MutationsSince(g.LastSeq() / 2)
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	done.Store(true)
+	readers.Wait()
+	checkPomAgainstSweep(t, g, preds, objs)
+}

@@ -34,7 +34,13 @@ import (
 // the default page size, and limits above the maximum are clamped.
 // Cursor pagination is deterministic while the graph is unchanged;
 // concurrent mutations may shift page boundaries (the token names the
-// last binding seen, not a snapshot).
+// last binding seen, not a snapshot). Streaming dedup is always on for
+// HTTP queries (QueryOptions.NoDedup is never set here): every request
+// solves with a limit, so the solver's seen-set is bounded by the rows
+// enumerated for that one request — limit+1 for a first page, plus the
+// replayed prior-page rows for a cursored request (page N re-derives
+// ~N*limit rows; the documented O(pages-before-it) cursor cost) — never
+// the unbounded answer-set growth NoDedup exists for.
 const (
 	// maxQueryBodyBytes caps the request body size.
 	maxQueryBodyBytes = 1 << 20

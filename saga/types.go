@@ -104,7 +104,8 @@ type (
 	// QueryBinding maps variables to values in a query answer.
 	QueryBinding = graphengine.Binding
 	// QueryOptions configure one streaming query: limit push-down,
-	// cursor resumption, provenance routing, timeout, and cancellation.
+	// cursor resumption, provenance routing, dedup opt-out for unlimited
+	// streams (NoDedup), timeout, and cancellation.
 	QueryOptions = graphengine.QueryOptions
 	// QueryCursor is a binding's identity tuple, the resume position of
 	// a paginated conjunctive query.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the benchmark suite (E1–E13 plus the micro-benchmarks,
+# bench.sh — run the benchmark suite (E1–E15 plus the micro-benchmarks,
 # across all packages) with -benchmem and emit a machine-readable
 # BENCH_<date>.json at the repo root, so successive PRs have a perf
 # trajectory to regress against.
@@ -8,7 +8,11 @@
 #   scripts/bench.sh                 # full suite, benchtime 1s
 #   scripts/bench.sh --check         # run, then gate against the latest
 #                                    # committed BENCH_*.json: >20% ns/op
-#                                    # regression in E1–E13 fails (exit 1)
+#                                    # regression in E1–E15 fails (exit 1;
+#                                    # baseline-foil sub-benchmarks like
+#                                    # E13's /sweep are excluded, and
+#                                    # >20% allocs/op growth is reported
+#                                    # without failing — see benchcmp)
 #   BENCHTIME=100ms scripts/bench.sh # quicker pass
 #   BENCH_COUNT=3 scripts/bench.sh   # repeat each benchmark; the JSON
 #                                    # records every run and benchcmp
