@@ -15,15 +15,26 @@
 //	               "object": {"key": "team0"}}],
 //	  "limit": 10}'
 //
+// With -data-dir the graph is durable: a fresh directory is seeded from
+// the generated world (checkpointed on startup), an existing one is
+// recovered — checkpoint load plus write-ahead-log replay — and served
+// in place of a fresh generation. SIGINT/SIGTERM drain in-flight
+// requests, then flush and close the log.
+//
 // Usage:
 //
-//	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1]
+//	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1] [-data-dir DIR]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"saga/internal/server"
 	"saga/saga"
@@ -37,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	dim := flag.Int("dim", 32, "embedding dimensionality")
 	epochs := flag.Int("epochs", 25, "training epochs")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves from memory only. World flags (-people, -clusters, -seed) must match across restarts of the same directory")
 	flag.Parse()
 
 	log.Printf("generating world: %d people, %d clusters (seed %d)", *people, *clusters, *seed)
@@ -46,7 +58,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("generate world: %v", err)
 	}
-	p := saga.New(w.Graph)
+
+	var p *saga.Platform
+	if *dataDir != "" {
+		var info *saga.RecoveryInfo
+		p, info, err = saga.OpenDurablePlatform(*dataDir, saga.DurableOptions{Sync: saga.SyncEachCommit})
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		for _, d := range info.Diagnostics {
+			log.Printf("recovery: %s", d)
+		}
+		if info.RecoveredLSN == 0 {
+			log.Printf("seeding fresh data dir %s from generated world", *dataDir)
+			if err := saga.ImportGraph(p.Graph(), w.Graph); err != nil {
+				log.Fatalf("seed data dir: %v", err)
+			}
+			if _, err := p.CheckpointDurable(); err != nil {
+				log.Fatalf("checkpoint seed: %v", err)
+			}
+		} else {
+			log.Printf("recovered %s: LSN %d, %d mutations replayed past checkpoint %d",
+				*dataDir, info.RecoveredLSN, info.MutationsReplayed, info.CheckpointLSN)
+			if got, want := p.Graph().NumEntities(), w.Graph.NumEntities(); got < want {
+				log.Printf("warning: recovered graph has %d entities, generated world %d — were the world flags changed?", got, want)
+			}
+		}
+	} else {
+		p = saga.New(w.Graph)
+	}
 
 	log.Printf("training %s embeddings (dim %d, %d epochs)", saga.DistMult, *dim, *epochs)
 	if err := p.TrainEmbeddings(saga.EmbeddingOptions{
@@ -55,11 +95,14 @@ func main() {
 		log.Fatalf("train embeddings: %v", err)
 	}
 
-	// Calibrate the verifier on observed facts vs corrupted ones.
+	// Calibrate the verifier on observed facts vs corrupted ones. The
+	// serving graph's IDs agree with the generated world's because the
+	// generator is deterministic and recovery reproduces IDs exactly.
+	g := p.Graph()
 	occ := w.Preds["occupation"]
 	var pos, neg [][3]uint32
 	for _, person := range w.People {
-		for f := range w.Graph.FactsSeq(person, occ) {
+		for f := range g.FactsSeq(person, occ) {
 			pos = append(pos, [3]uint32{uint32(person), uint32(occ), uint32(f.Object.Entity)})
 		}
 		other := w.People[(int(person)+7)%len(w.People)]
@@ -81,10 +124,45 @@ func main() {
 	if err != nil {
 		log.Fatalf("build server: %v", err)
 	}
-	g := w.Graph
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 2 * time.Second,
+		ReadTimeout:       5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	log.Printf("serving %d entities / %d triples on %s", g.NumEntities(), g.NumTriples(), *addr)
 	log.Printf("try: curl 'localhost%s/entity?key=person0'", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
 		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining requests")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			log.Printf("serve: %v", serveErr)
+		}
+	}
+	if p.Durability() != nil {
+		if _, err := p.CheckpointDurable(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := p.CloseDurable(); err != nil {
+			log.Printf("close data dir: %v", err)
+		}
+		log.Printf("durable state closed")
 	}
 }

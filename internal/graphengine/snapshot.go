@@ -160,6 +160,13 @@ func advanceAdjacencySnapshot(g *kg.Graph, prev *AdjacencySnapshot) *AdjacencySn
 		return buildAdjacencySnapshot(g)
 	}
 	muts := g.MutationsSince(prev.seq)
+	// The floor is re-checked AFTER the pull (it is raised before entries
+	// drop, see kg.Graph.LogFloor): if log compaction has discarded any
+	// entry in (prev.seq, now], the delta feed is incomplete and only a
+	// full rebuild is sound.
+	if g.LogFloor() > prev.seq {
+		return buildAdjacencySnapshot(g)
+	}
 	relevant := 0
 	for _, m := range muts {
 		if m.T.Object.IsEntity() && m.T.Subject != m.T.Object.Entity {

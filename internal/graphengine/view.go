@@ -180,10 +180,20 @@ func (v *View) match(t kg.Triple) bool {
 // is the incremental maintenance path: the static knowledge asset of §5
 // ("the view is automatically maintained and can be shipped to devices")
 // uses exactly this mechanism.
+//
+// When log compaction (kg.Graph.TruncateLog — the durability layer's
+// checkpoint hook) has dropped entries past the view's watermark, the
+// incremental feed is incomplete and Refresh falls back to a full
+// re-materialization; it then returns the rebuilt view's size.
 func (v *View) Refresh() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	muts := v.g.MutationsSince(v.seq)
+	// Floor re-checked after the pull (raised before entries drop): a
+	// truncation past v.seq means muts is missing its head.
+	if v.g.LogFloor() > v.seq {
+		return v.rematerializeLocked()
+	}
 	applied := 0
 	for _, m := range muts {
 		v.seq = m.Seq
@@ -218,6 +228,28 @@ func (v *View) Refresh() int {
 		}
 	}
 	return applied
+}
+
+// rematerializeLocked rebuilds the view from a fresh consistent cut of
+// the graph — same logic as Engine.Materialize, reusing the view's
+// definition. Caller holds v.mu.
+func (v *View) rematerializeLocked() int {
+	v.triples = nil
+	v.keys = make(map[kg.TripleKey]int)
+	v.predFreq = make(map[kg.PredicateID]int)
+	var all []kg.Triple
+	v.seq = v.g.TriplesSnapshot(func(t kg.Triple) bool {
+		v.predFreq[t.Predicate]++
+		all = append(all, t)
+		return true
+	})
+	for _, t := range all {
+		if v.match(t) {
+			v.keys[t.IdentityKey()] = len(v.triples)
+			v.triples = append(v.triples, t)
+		}
+	}
+	return len(v.triples)
 }
 
 // Triples returns a copy of the view's triples.

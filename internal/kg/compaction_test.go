@@ -1,0 +1,169 @@
+package kg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildMutating populates g with n single-triple mutations (plus a few
+// retracts mixed in) and returns the set of asserted triples still live.
+func buildMutating(t *testing.T, g *Graph, n int) {
+	t.Helper()
+	e := make([]EntityID, 8)
+	for i := range e {
+		e[i] = mustEntity(t, g, fmt.Sprintf("c%d", i), fmt.Sprintf("ent %d", i))
+	}
+	p := mustPredicate(t, g, "score")
+	for i := 0; i < n; i++ {
+		tr := Triple{Subject: e[i%len(e)], Predicate: p, Object: IntValue(int64(i))}
+		if err := g.Assert(tr); err != nil {
+			t.Fatalf("Assert %d: %v", i, err)
+		}
+		if i%5 == 4 {
+			if !g.Retract(tr) {
+				t.Fatalf("Retract %d missed", i)
+			}
+		}
+	}
+}
+
+func TestTruncateLogRaisesFloorAndDropsEntries(t *testing.T) {
+	g := NewGraphWithShards(4)
+	buildMutating(t, g, 100)
+	wm := g.LastSeq()
+	if g.LogFloor() != 0 {
+		t.Fatalf("fresh graph has floor %d", g.LogFloor())
+	}
+	all := g.MutationsSince(0)
+	if uint64(len(all)) != wm {
+		t.Fatalf("full log has %d entries, watermark %d", len(all), wm)
+	}
+
+	cut := wm / 2
+	dropped := g.TruncateLog(cut)
+	if uint64(dropped) != cut {
+		t.Fatalf("TruncateLog(%d) dropped %d entries", cut, dropped)
+	}
+	if g.LogFloor() != cut {
+		t.Fatalf("LogFloor = %d, want %d", g.LogFloor(), cut)
+	}
+
+	// MutationsSince(floor) must still be a complete, gapless feed.
+	rest := g.MutationsSince(cut)
+	if uint64(len(rest)) != wm-cut {
+		t.Fatalf("MutationsSince(%d) has %d entries, want %d", cut, len(rest), wm-cut)
+	}
+	for i, m := range rest {
+		want := cut + uint64(i) + 1
+		if m.Seq != want {
+			t.Fatalf("entry %d has seq %d, want %d", i, m.Seq, want)
+		}
+		if m.Seq != all[m.Seq-1].Seq || m.T.IdentityKey() != all[m.Seq-1].T.IdentityKey() {
+			t.Fatalf("entry %d diverged from pre-truncation log", i)
+		}
+	}
+
+	// Truncating again at or below the floor is a no-op.
+	if n := g.TruncateLog(cut); n != 0 {
+		t.Fatalf("re-truncation dropped %d entries", n)
+	}
+	if n := g.TruncateLog(cut - 1); n != 0 {
+		t.Fatalf("truncation below floor dropped %d entries", n)
+	}
+}
+
+func TestTruncateLogClampsToWatermark(t *testing.T) {
+	g := NewGraphWithShards(2)
+	buildMutating(t, g, 30)
+	wm := g.LastSeq()
+	dropped := g.TruncateLog(wm + 1000)
+	if uint64(dropped) != wm {
+		t.Fatalf("dropped %d entries, want the full log (%d)", dropped, wm)
+	}
+	// The floor must be clamped to the watermark, not the requested value:
+	// a floor above the watermark would wedge consumers forever.
+	if g.LogFloor() != wm {
+		t.Fatalf("LogFloor = %d, want watermark %d", g.LogFloor(), wm)
+	}
+	if rest := g.MutationsSince(wm); len(rest) != 0 {
+		t.Fatalf("log still has %d entries past the watermark", len(rest))
+	}
+	// New mutations land above the floor and feed normally.
+	id := mustEntity(t, g, "fresh", "fresh")
+	p := mustPredicate(t, g, "after")
+	if err := g.Assert(Triple{Subject: id, Predicate: p, Object: BoolValue(true)}); err != nil {
+		t.Fatal(err)
+	}
+	rest := g.MutationsSince(g.LogFloor())
+	if len(rest) != 1 || rest[0].Seq != wm+1 {
+		t.Fatalf("post-truncation feed = %+v, want single entry at seq %d", rest, wm+1)
+	}
+}
+
+func TestAdvanceWatermark(t *testing.T) {
+	g := NewGraphWithShards(4)
+	buildMutating(t, g, 20)
+	low := g.LastSeq()
+
+	// Rewinding must fail and change nothing.
+	if err := g.AdvanceWatermark(low - 1); err == nil {
+		t.Fatal("AdvanceWatermark below current watermark succeeded")
+	}
+	if g.LastSeq() != low {
+		t.Fatalf("failed rewind moved the watermark to %d", g.LastSeq())
+	}
+
+	const target = 5000
+	if err := g.AdvanceWatermark(target); err != nil {
+		t.Fatalf("AdvanceWatermark(%d): %v", target, err)
+	}
+	if g.LastSeq() != target {
+		t.Fatalf("LastSeq = %d, want %d", g.LastSeq(), target)
+	}
+	if g.LogFloor() != target {
+		t.Fatalf("LogFloor = %d, want %d", g.LogFloor(), target)
+	}
+	if ms := g.MutationsSince(0); len(ms) != 0 {
+		t.Fatalf("log retained %d entries across AdvanceWatermark", len(ms))
+	}
+
+	// The next mutation draws target+1, as if the process never restarted.
+	id := mustEntity(t, g, "resumed", "resumed")
+	p := mustPredicate(t, g, "next")
+	if err := g.Assert(Triple{Subject: id, Predicate: p, Object: IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if g.LastSeq() != target+1 {
+		t.Fatalf("post-advance mutation drew seq %d, want %d", g.LastSeq(), target+1)
+	}
+	ms := g.MutationsSince(target)
+	if len(ms) != 1 || ms[0].Seq != target+1 {
+		t.Fatalf("MutationsSince(%d) = %+v", target, ms)
+	}
+
+	// Advancing to the current watermark is allowed (idempotent barrier).
+	if err := g.AdvanceWatermark(g.LastSeq()); err != nil {
+		t.Fatalf("AdvanceWatermark to current watermark: %v", err)
+	}
+}
+
+func TestAllTriplesSnapshotMatchesAllTriples(t *testing.T) {
+	g := NewGraphWithShards(4)
+	buildMutating(t, g, 60)
+	snap, wm := g.AllTriplesSnapshot()
+	if wm != g.LastSeq() {
+		t.Fatalf("snapshot watermark %d, graph watermark %d", wm, g.LastSeq())
+	}
+	plain := g.AllTriples()
+	if len(snap) != len(plain) {
+		t.Fatalf("snapshot has %d triples, AllTriples %d", len(snap), len(plain))
+	}
+	for i := range snap {
+		if snap[i].IdentityKey() != plain[i].IdentityKey() {
+			t.Fatalf("triple %d differs: %v vs %v", i, snap[i], plain[i])
+		}
+	}
+	if g.NumTriples() != len(snap) {
+		t.Fatalf("NumTriples %d, snapshot %d", g.NumTriples(), len(snap))
+	}
+}

@@ -194,6 +194,29 @@ func (sh *graphShard) init() {
 // Registering entities or predicates does not bump the watermark — a new
 // entity is observable in derived edge structures only once a triple
 // mentions it, and asserting that triple bumps the watermark.
+//
+// The in-memory log can be compacted: TruncateLog drops entries at or
+// below a sequence number once a durable copy exists elsewhere (a WAL
+// segment, a checkpoint), and LogFloor reports the highest dropped
+// sequence. MutationsSince(seq) is complete only when seq >= LogFloor();
+// consumers maintaining derived state must check LogFloor after pulling
+// and fall back to a full rebuild when the floor has passed their
+// watermark (the graphengine adjacency snapshot and materialized views do
+// exactly this).
+//
+// # Durability
+//
+// The graph itself is volatile. Crash-safe deployments pair it with
+// internal/wal: the WAL manager drains this mutation log into an
+// append-only CRC-framed log on disk (the watermark is the LSN) and takes
+// periodic checkpoints under the all-shard cut. The durability contract
+// is defined by the WAL's fsync policy — after a crash, recovery is
+// guaranteed to restore a watermark-consistent prefix that includes every
+// mutation at or below the WAL's acknowledged-durable watermark
+// (wal.Manager.DurableLSN); see the internal/wal package documentation.
+// Recovery loads the newest durable checkpoint through the AssertBatch
+// merge-append path, fast-forwards the watermark with AdvanceWatermark,
+// and replays the log suffix.
 type Graph struct {
 	ontology *Ontology
 
@@ -211,6 +234,14 @@ type Graph struct {
 	// seq is the global mutation watermark; advanced only under a shard
 	// write lock.
 	seq atomic.Uint64
+
+	// logFloor is the highest sequence number dropped from the per-shard
+	// mutation sub-logs (TruncateLog / AdvanceWatermark). Entries at or
+	// below it are no longer retrievable via MutationsSince. It is raised
+	// BEFORE any entry is dropped, so a consumer that pulls mutations and
+	// then observes logFloor <= its watermark is guaranteed a complete
+	// feed.
+	logFloor atomic.Uint64
 
 	shardMask uint32
 	shards    []graphShard
@@ -1069,6 +1100,10 @@ func (g *Graph) TriplesSnapshot(fn func(Triple) bool) (seq uint64) {
 func (g *Graph) AllTriples() []Triple {
 	wm := g.rlockAll()
 	defer g.runlockAll(wm)
+	return g.allTriplesLocked()
+}
+
+func (g *Graph) allTriplesLocked() []Triple {
 	total := 0
 	for i := range g.shards {
 		total += len(g.shards[i].tripleKeys)
@@ -1165,4 +1200,110 @@ func (g *Graph) MutationsSince(seq uint64) []Mutation {
 // exactly match the observed state.
 func (g *Graph) LastSeq() uint64 {
 	return g.seq.Load()
+}
+
+// LogFloor returns the highest mutation sequence number that has been
+// dropped from the in-memory log (0 when nothing was ever truncated).
+// MutationsSince(seq) is a complete feed only when seq >= LogFloor();
+// consumers maintaining derived state should pull, then re-check the
+// floor, and rebuild from scratch when the floor has passed their
+// watermark (the floor is raised before entries are dropped, so this
+// ordering can never miss a truncation).
+func (g *Graph) LogFloor() uint64 {
+	return g.logFloor.Load()
+}
+
+// TruncateLog drops every mutation-log entry with sequence number at or
+// below upTo and returns the number of entries dropped. It is the log
+// compaction hook for durability: once the WAL has a durable copy of the
+// prefix (a checkpoint at watermark upTo), the in-memory copy is dead
+// weight in a long-running server. The floor (LogFloor) is raised first,
+// then shards are compacted one at a time; concurrent writers are
+// unaffected (their entries are strictly above upTo), and concurrent
+// MutationsSince callers detect the truncation via the floor check
+// described on LogFloor.
+func (g *Graph) TruncateLog(upTo uint64) int {
+	if upTo == 0 {
+		return 0
+	}
+	// Raise the floor before dropping anything (see LogFloor). The floor
+	// never exceeds the watermark: entries above the current seq do not
+	// exist, so claiming them dropped would wedge consumers at a floor no
+	// pull can ever satisfy.
+	if wm := g.seq.Load(); upTo > wm {
+		upTo = wm
+	}
+	for {
+		cur := g.logFloor.Load()
+		if cur >= upTo {
+			break
+		}
+		if g.logFloor.CompareAndSwap(cur, upTo) {
+			break
+		}
+	}
+	dropped := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		cut := sort.Search(len(sh.log), func(j int) bool { return sh.log[j].Seq > upTo })
+		if cut > 0 {
+			dropped += cut
+			// Copy the tail to a fresh slice so the dropped prefix's
+			// backing array (and the Triples it pins) becomes collectable.
+			tail := make([]Mutation, len(sh.log)-cut)
+			copy(tail, sh.log[cut:])
+			sh.log = tail
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// AdvanceWatermark fast-forwards the mutation watermark to seq without
+// applying any mutations, discarding the in-memory mutation log and
+// setting the log floor to seq. It exists for recovery: a checkpoint at
+// watermark W restores its triples through AssertBatch (which assigns
+// fresh low sequence numbers), after which AdvanceWatermark(W) makes the
+// graph's watermark agree with the durable LSN space again — subsequent
+// mutations draw W+1, W+2, ... exactly as if the process had never
+// restarted. Rewinding is not possible: seq below the current watermark
+// is an error, and nothing is modified.
+func (g *Graph) AdvanceWatermark(seq uint64) error {
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range g.shards {
+			g.shards[i].mu.Unlock()
+		}
+	}()
+	cur := g.seq.Load()
+	if seq < cur {
+		return fmt.Errorf("kg: AdvanceWatermark(%d) below current watermark %d", seq, cur)
+	}
+	// Floor first, then drop (same ordering contract as TruncateLog) —
+	// though with every shard write-locked no reader can interleave.
+	for {
+		old := g.logFloor.Load()
+		if old >= seq || g.logFloor.CompareAndSwap(old, seq) {
+			break
+		}
+	}
+	for i := range g.shards {
+		g.shards[i].log = nil
+	}
+	g.seq.Store(seq)
+	return nil
+}
+
+// AllTriplesSnapshot is AllTriples plus the mutation watermark the
+// materialized slice reflects, both taken under one all-shard cut. It is
+// the checkpoint read: the returned triples are exactly the state after
+// the first seq mutations, in identity order — the order AssertBatch's
+// merge-append restore path detects in O(n).
+func (g *Graph) AllTriplesSnapshot() (ts []Triple, seq uint64) {
+	wm := g.rlockAll()
+	defer g.runlockAll(wm)
+	return g.allTriplesLocked(), g.seq.Load()
 }

@@ -1,6 +1,7 @@
 package odke
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -517,3 +518,35 @@ func TestPipelineValidation(t *testing.T) {
 		t.Fatal("nil components accepted")
 	}
 }
+
+func TestRunDurabilityBarrier(t *testing.T) {
+	h := newODKEHarness(t, MajorityVoteFuser{}, 0)
+	var barrierWM uint64
+	var calls int
+	h.pipeline.DurabilityBarrier = func(wm uint64) error {
+		calls++
+		barrierWM = wm
+		return nil
+	}
+	if _, err := h.pipeline.Run(h.gaps); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("barrier invoked %d times, want 1", calls)
+	}
+	// The barrier fires after the final flush: the watermark it sees is
+	// the graph's watermark at Run's return.
+	if got := h.w.Graph.LastSeq(); barrierWM != got {
+		t.Fatalf("barrier saw watermark %d, graph is at %d", barrierWM, got)
+	}
+
+	// A failing barrier fails the run.
+	h.pipeline.DurabilityBarrier = func(uint64) error {
+		return errBarrier
+	}
+	if _, err := h.pipeline.Run(h.gaps); err == nil {
+		t.Fatal("barrier error did not fail the run")
+	}
+}
+
+var errBarrier = errors.New("sync failed")

@@ -25,6 +25,13 @@ type Pipeline struct {
 	// MinScore gates write-back; fused values scoring below it are
 	// dropped. Default 0.5.
 	MinScore float64
+	// DurabilityBarrier, when set, is invoked once per Run after the
+	// final batch has been flushed and indexes synced, with the graph's
+	// mutation watermark at that point. The durability layer wires it to
+	// wal.Manager.SyncToWatermark so a completed extraction run is
+	// fsync-acknowledged before Run returns; a barrier error fails the
+	// run (the facts are in memory but not yet durable).
+	DurabilityBarrier func(watermark uint64) error
 }
 
 // NewPipeline constructs the ODKE pipeline.
@@ -156,6 +163,11 @@ func (p *Pipeline) Run(gaps []Gap) (Report, error) {
 		return rep, fmt.Errorf("odke: assert fused facts: %w", err)
 	}
 	p.graph.SyncIndexes()
+	if p.DurabilityBarrier != nil {
+		if err := p.DurabilityBarrier(p.graph.LastSeq()); err != nil {
+			return rep, fmt.Errorf("odke: durability barrier: %w", err)
+		}
+	}
 	return rep, nil
 }
 

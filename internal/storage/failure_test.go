@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"strings"
@@ -147,6 +148,109 @@ func BenchmarkGetFromSegments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Get(keys[i%len(keys)]); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestTornSegmentTailMatrix truncates the newest segment at every byte
+// offset strictly inside its final record and reopens the store each
+// time. Every such tear must surface as a clean Open error — never a
+// panic, a garbage-length allocation, or a silently shortened segment.
+func TestTornSegmentTailMatrix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := s.Put(strings.Repeat("k", i+1), []byte(strings.Repeat("v", 3*i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var segPath string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			segPath = filepath.Join(dir, e.Name())
+		}
+	}
+	if segPath == "" {
+		t.Fatal("no segment written")
+	}
+	// Walk the record headers to find where the final record begins.
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(data))
+	var recStart, off int64
+	for off < size {
+		recStart = off
+		klen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		vlen := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		off += 8 + klen
+		if vlen != tombstoneLen {
+			off += int64(vlen)
+		}
+	}
+	if off != size {
+		t.Fatalf("segment walk ended at %d, size %d", off, size)
+	}
+	// Tear monotonically downward so one directory serves the whole matrix.
+	for cut := size - 1; cut > recStart; cut-- {
+		if err := os.Truncate(segPath, cut); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := Open(dir, Options{}); err == nil {
+			s.Close()
+			t.Fatalf("segment torn at byte %d/%d accepted", cut, size)
+		}
+	}
+}
+
+// TestCorruptLengthHeaderBoundedError plants garbage record lengths and
+// requires Open to fail with a bounded decode error rather than
+// attempting a multi-gigabyte allocation (or panicking).
+func TestCorruptLengthHeaderBoundedError(t *testing.T) {
+	for _, field := range []int{0, 4} { // klen header, vlen header
+		dir := t.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("key", []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasPrefix(e.Name(), "seg-") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.LittleEndian.PutUint32(data[field:field+4], 0xfffffff0)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s, err := Open(dir, Options{}); err == nil {
+			s.Close()
+			t.Fatalf("garbage length in header field %d accepted", field)
 		}
 	}
 }

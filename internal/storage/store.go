@@ -366,10 +366,42 @@ func (s *Store) writeManifestLocked() error {
 		return err
 	}
 	tmp := filepath.Join(s.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, manifestName))
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return err
+	}
+	// The rename is durable only once the directory entry is: without the
+	// parent fsync a crash can resurrect the previous manifest (or leave
+	// none), silently rolling the segment set back.
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so entry mutations (create, rename, remove)
+// in it survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // segment is an immutable sorted run on disk with a sparse in-memory index.
@@ -436,6 +468,12 @@ func (w *segmentWriter) finish() (*segment, error) {
 	if err := w.f.Close(); err != nil {
 		return nil, err
 	}
+	// Make the segment's directory entry durable before anything (the
+	// manifest) references it; a synced file whose entry was never
+	// dir-synced can vanish wholesale on crash.
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(w.path)
 	if err != nil {
 		return nil, err
@@ -474,20 +512,36 @@ func openSegment(path string) (*segment, error) {
 }
 
 // readRecord decodes the record at off, returning key, value, tombstone
-// flag and the offset of the next record.
+// flag and the offset of the next record. Every length is validated
+// against the segment size before any allocation or read, so a torn tail
+// or corrupt header surfaces as a bounded error — never a panic, a
+// multi-gigabyte allocation from a garbage length, or a silent short
+// read.
 func (seg *segment) readRecord(off int64) (string, []byte, bool, int64, error) {
+	corrupt := func(reason string) error {
+		return fmt.Errorf("storage: segment %s corrupt at %d: %s (size %d)", seg.path, off, reason, seg.size)
+	}
+	if off+8 > seg.size {
+		return "", nil, false, 0, corrupt("truncated record header")
+	}
 	var hdr [8]byte
 	if _, err := seg.f.ReadAt(hdr[:], off); err != nil {
 		return "", nil, false, 0, fmt.Errorf("storage: segment %s corrupt at %d: %w", seg.path, off, err)
 	}
 	klen := binary.LittleEndian.Uint32(hdr[0:4])
 	vlen := binary.LittleEndian.Uint32(hdr[4:8])
+	if int64(klen) > seg.size-off-8 {
+		return "", nil, false, 0, corrupt(fmt.Sprintf("key length %d overruns segment", klen))
+	}
 	keyBuf := make([]byte, klen)
 	if _, err := seg.f.ReadAt(keyBuf, off+8); err != nil {
 		return "", nil, false, 0, err
 	}
 	if vlen == tombstoneLen {
 		return string(keyBuf), nil, true, off + 8 + int64(klen), nil
+	}
+	if int64(vlen) > seg.size-off-8-int64(klen) {
+		return "", nil, false, 0, corrupt(fmt.Sprintf("value length %d overruns segment", vlen))
 	}
 	val := make([]byte, vlen)
 	if _, err := seg.f.ReadAt(val, off+8+int64(klen)); err != nil {

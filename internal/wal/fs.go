@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the slice of filesystem behavior the durability layer depends
+// on, factored out so the crash-matrix tests can interpose a
+// fault-injecting implementation (FaultFS) under the exact code paths
+// production runs. Paths are absolute or process-relative; the WAL joins
+// its directory itself.
+//
+// Durability semantics the implementations must honor:
+//   - File.Sync makes previously written bytes of that file durable.
+//   - SyncDir makes directory entries (creations, renames, removals in
+//     that directory) durable. A create or rename alone is NOT durable —
+//     the classic tmp-write+rename pattern still needs the directory
+//     fsync to survive power loss.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create truncates/creates the file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(name string) (File, error)
+	// OpenRead opens the file for sequential reading.
+	OpenRead(name string) (io.ReadCloser, error)
+	Rename(oldName, newName string) error
+	Remove(name string) error
+	// Truncate cuts the file to size bytes (used to discard torn tails).
+	Truncate(name string, size int64) error
+	// ReadDir returns the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	SyncDir(dir string) error
+}
+
+// File is a writable log or checkpoint file.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS over the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) OpenRead(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OSFS) Rename(oldName, newName string) error { return os.Rename(oldName, newName) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -12,6 +12,7 @@ import (
 	"saga/internal/graphengine"
 	"saga/internal/kg"
 	"saga/internal/odke"
+	"saga/internal/wal"
 	"saga/internal/websearch"
 )
 
@@ -33,6 +34,10 @@ type Platform struct {
 	embedSvc  *embedserve.Service
 	annotator *annotate.Annotator
 	odkePipe  *odke.Pipeline
+
+	// wal is the durability manager, set by OpenDurablePlatform; nil for
+	// memory-only platforms.
+	wal *wal.Manager
 }
 
 // New wraps a graph in a platform. The graph may keep growing; views and
@@ -256,6 +261,11 @@ func (p *Platform) BuildODKE(index *websearch.Index, fuser Fuser) error {
 	pipe, err := odke.NewPipeline(p.graph, index, p.annotator, extractors, fuser)
 	if err != nil {
 		return fmt.Errorf("saga: build ODKE: %w", err)
+	}
+	if p.wal != nil {
+		// Durable platforms fsync-acknowledge every extraction run before
+		// Run returns: freshly mined facts survive a crash.
+		pipe.DurabilityBarrier = p.wal.SyncToWatermark
 	}
 	p.odkePipe = pipe
 	return nil

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# crashtest.sh — run the WAL crash matrix wide: several seeds, a denser
+# kill-point grid than the in-tree default, under the race detector. Each
+# (seed, kill-point) cell kills the writer at an arbitrary byte offset or
+# fsync count, collapses the filesystem to a crash-consistent image
+# (torn tails, lost directory entries), recovers, and checks watermark
+# consistency, no loss of fsync-acknowledged mutations, and continued
+# writability. See internal/wal/crash_test.go for the invariants.
+#
+# Usage:
+#   scripts/crashtest.sh                       # seeds 1..8, 60 kill points
+#   WAL_CRASH_SEEDS=11,12 scripts/crashtest.sh # explicit seeds
+#   WAL_CRASH_POINTS=200 scripts/crashtest.sh  # denser kill grid
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEEDS="${WAL_CRASH_SEEDS:-1,2,3,4,5,6,7,8}"
+POINTS="${WAL_CRASH_POINTS:-60}"
+
+echo "crash matrix: seeds=${SEEDS} points=${POINTS} (-race)"
+WAL_CRASH_SEEDS="$SEEDS" WAL_CRASH_POINTS="$POINTS" \
+	go test -race -count=1 -timeout 20m \
+	-run 'TestCrashMatrix' -v ./internal/wal/ 2>&1 | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok )'
