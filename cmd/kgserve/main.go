@@ -15,6 +15,19 @@
 //	               "object": {"key": "team0"}}],
 //	  "limit": 10}'
 //
+// Adding "explain": true to the body returns the execution plan —
+// clause order, access paths, cardinality estimates — instead of
+// running the query:
+//
+//	curl -s localhost:8080/query -d '{
+//	  "clauses": [...], "explain": true}'
+//
+// -query-workers N (default 1) solves each /query with N parallel
+// workers over the first clause's candidates. Responses, pages, and
+// cursors are byte-identical at any worker count; the flag only trades
+// CPU for latency on large solves. /health reports the plan cache's
+// hit/miss/invalidation/eviction counters under "plan_cache".
+//
 // With -data-dir the graph is durable: a fresh directory is seeded from
 // the generated world (checkpointed on startup), an existing one is
 // recovered — checkpoint load plus write-ahead-log replay — and served
@@ -23,7 +36,7 @@
 //
 // Usage:
 //
-//	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1] [-data-dir DIR]
+//	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1] [-data-dir DIR] [-query-workers 1]
 package main
 
 import (
@@ -49,6 +62,7 @@ func main() {
 	dim := flag.Int("dim", 32, "embedding dimensionality")
 	epochs := flag.Int("epochs", 25, "training epochs")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves from memory only. World flags (-people, -clusters, -seed) must match across restarts of the same directory")
+	queryWorkers := flag.Int("query-workers", 1, "parallel workers per /query solve (1 = sequential; results are identical at any count)")
 	flag.Parse()
 
 	log.Printf("generating world: %d people, %d clusters (seed %d)", *people, *clusters, *seed)
@@ -124,6 +138,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("build server: %v", err)
 	}
+	srv.QueryWorkers = *queryWorkers
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

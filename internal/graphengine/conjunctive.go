@@ -134,56 +134,3 @@ func estimateOn(g conjGraph, c Clause, bound Binding) int {
 	}
 }
 
-// expandAppend appends the triples matching the clause under the binding
-// to buf and returns it. Candidates are copied out under the index locks
-// (one consistent read per index touched) so the caller can enumerate and
-// recurse lock-free. Bound-object clauses read one posting list from the
-// predicate-major index instead of sweeping every subject shard; unbound
-// clauses enumerate the predicate's postings and are sorted into
-// (subject, object key) order, because the underlying map iteration is
-// the one candidate source with no inherent deterministic order and the
-// stream order must be reproducible for cursors.
-func expandAppend(g conjGraph, c Clause, bound Binding, buf []kg.Triple) []kg.Triple {
-	s, sBound := resolve(c.Subject, bound)
-	o, oBound := resolve(c.Object, bound)
-	switch {
-	case sBound && oBound:
-		if g.HasFact(s.Entity, c.Predicate, o) {
-			buf = append(buf, kg.Triple{Subject: s.Entity, Predicate: c.Predicate, Object: o})
-		}
-		return buf
-	case sBound:
-		g.FactsFunc(s.Entity, c.Predicate, func(t kg.Triple) bool {
-			buf = append(buf, t)
-			return true
-		})
-		return buf
-	case oBound:
-		// The count is only a capacity hint: the streaming read below is
-		// the single consistent enumeration (a writer may land between the
-		// two stripe acquisitions, so never truncate at the hint).
-		buf = slices.Grow(buf, g.SubjectsWithCount(c.Predicate, o))
-		g.SubjectsWithFunc(c.Predicate, o, func(sub kg.EntityID) bool {
-			buf = append(buf, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: o})
-			return true
-		})
-		return buf
-	default:
-		start := len(buf)
-		g.PredicateEntriesFunc(c.Predicate, func(obj kg.Value, subj kg.EntityID) bool {
-			buf = append(buf, kg.Triple{Subject: subj, Predicate: c.Predicate, Object: obj})
-			return true
-		})
-		ext := buf[start:]
-		slices.SortFunc(ext, func(a, b kg.Triple) int {
-			if a.Subject != b.Subject {
-				if a.Subject < b.Subject {
-					return -1
-				}
-				return 1
-			}
-			return a.Object.MapKey().Compare(b.Object.MapKey())
-		})
-		return buf
-	}
-}

@@ -1,0 +1,293 @@
+package graphengine
+
+import (
+	"context"
+	"slices"
+
+	"saga/internal/kg"
+)
+
+// The executor half of the query stack: runs an immutable Plan (plan.go)
+// against the graph, depth-first in plan-step order, with streaming
+// dedup, cursor replay, and limit push-down at the leaves. The executor
+// never re-plans — every access-path decision was fixed at build time —
+// so the same plan over the same graph state always streams the same
+// sequence, which is the property cursors and the parallel merge
+// (parallel.go) rely on.
+
+// postingChunkSize is how many posting entries the executor copies per
+// lock acquisition when expanding a bound-object clause through the
+// chunked read path. The chunk bounds the one-slab-copy cost a small
+// limit pays on a huge posting list: candidates stream through the join
+// chunkSize at a time instead of materializing the whole posting first.
+const postingChunkSize = 1024
+
+// executor carries the state of one plan execution: the caller's
+// clauses (steps reference them by input index), the mutable partial
+// binding, per-depth expansion buffers reused across sibling nodes, and
+// the streaming dedup/cursor/limit state.
+//
+// Two optional hooks repurpose the executor as a parallel worker
+// (parallel.go): sink redirects complete bindings into a collection
+// callback (bypassing dedup/cursor/limit, which the merge applies
+// globally), and halt aborts the recursion when the merge has already
+// stopped consuming.
+type executor struct {
+	g       conjGraph
+	plan    *Plan
+	clauses []Clause
+	bound   Binding
+	bufs    [][]kg.Triple // per-depth candidate scratch, reused across siblings
+	keys    []kg.ValueKey // leaf key-tuple scratch
+	enc     []byte        // leaf key-encoding scratch
+	dedup   bool          // collapse duplicate rows (seen non-nil iff set)
+	seen    map[string]struct{}
+	chunked bool // expand bound-object clauses through the chunked posting read
+
+	cursor   string // encoded cursor tuple; "" = none
+	skipping bool   // still replaying rows up to and including the cursor
+	limit    int    // <= 0 = unlimited
+	yielded  int
+	ctx      context.Context
+	err      error // context error to surface after unwinding
+	yield    func(Binding, error) bool
+
+	// Worker hooks (nil in the sequential path).
+	sink  func(b Binding, key []byte) bool
+	keyed bool // sink wants the key tuple computed
+	halt  func() bool
+}
+
+// exec evaluates plan steps[idx:] under the current binding, yielding
+// complete bindings depth-first. It returns false to abort the whole
+// enumeration (consumer break, limit reached, halt, or context
+// cancelled).
+func (e *executor) exec(idx int) bool {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			e.err = err
+			return false
+		}
+	}
+	if e.halt != nil && e.halt() {
+		return false
+	}
+	if idx == len(e.plan.steps) {
+		return e.emit()
+	}
+	step := e.plan.steps[idx]
+	c := e.clauses[step.Input]
+
+	// Fully resolved clause: a single membership check, no candidate
+	// buffer and no bindings to roll back. The lookup is SPO identity; a
+	// var-bound object then re-applies the join's Equal semantics, so a
+	// NaN-valued binding is pruned here exactly as bindVar prunes it on
+	// the general path.
+	if step.Path == PathHasFact {
+		sv, _ := resolve(c.Subject, e.bound)
+		ov, _ := resolve(c.Object, e.bound)
+		if e.g.HasFact(sv.Entity, c.Predicate, ov) &&
+			(c.Object.Var == "" || ov.Equal(ov)) {
+			return e.exec(idx + 1)
+		}
+		return true
+	}
+
+	// Chunked posting expansion: candidates stream through the join
+	// postingChunkSize at a time, each slab copied under one stripe lock
+	// acquisition with an epoch check. A concurrent slot-shifting write
+	// restarts the read, which can re-deliver subjects; the leaf dedup
+	// absorbs the duplicate derivations, so the path is only taken when
+	// dedup is on (NoDedup streams would double-yield).
+	if step.Path == PathPosting && e.chunked {
+		ov, _ := resolve(c.Object, e.bound)
+		ok := true
+		e.g.SubjectsWithChunked(c.Predicate, ov, postingChunkSize, func(chunk []kg.EntityID, restarted bool) bool {
+			for _, sub := range chunk {
+				if !e.candidate(idx, c, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: ov}) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
+	// Buffered expansion: candidates are copied out under the index locks
+	// and enumerated lock-free, so the recursion (and the consumer's loop
+	// body) never runs inside a graph lock.
+	e.bufs[idx] = expandStep(e.g, c, step.Path, e.bound, e.bufs[idx][:0])
+	for _, t := range e.bufs[idx] {
+		if !e.candidate(idx, c, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidate extends the binding with one candidate triple of step idx,
+// recurses, and rolls the binding back. It returns false to abort the
+// enumeration.
+func (e *executor) candidate(idx int, c Clause, t kg.Triple) bool {
+	// A clause binds at most two variables; track them in a fixed array
+	// so each match costs no bookkeeping allocations.
+	var added [2]string
+	n := 0
+	ok := e.bindVar(c.Subject.Var, kg.EntityValue(t.Subject), &added, &n) &&
+		e.bindVar(c.Object.Var, t.Object, &added, &n)
+	cont := true
+	if ok {
+		cont = e.exec(idx + 1)
+	}
+	for i := 0; i < n; i++ {
+		delete(e.bound, added[i])
+	}
+	return cont
+}
+
+// emit handles a complete binding at a leaf. In the sequential path:
+// streaming dedup on the key tuple (unless NoDedup), cursor skip, limit
+// accounting, and the yield itself. In a worker (sink set), the binding
+// copy and key tuple are handed to the sink; the merge applies the
+// global dedup/cursor/limit in stream order.
+func (e *executor) emit() bool {
+	if e.sink != nil {
+		if e.keyed {
+			for i, name := range e.plan.vars {
+				e.keys[i] = e.bound[name].MapKey()
+			}
+			e.enc = appendKeyTuple(e.enc[:0], e.keys)
+		}
+		return e.sink(e.copyBinding(), e.enc)
+	}
+	if e.dedup || e.skipping {
+		for i, name := range e.plan.vars {
+			e.keys[i] = e.bound[name].MapKey()
+		}
+		e.enc = appendKeyTuple(e.enc[:0], e.keys)
+	}
+	if e.dedup {
+		if _, dup := e.seen[string(e.enc)]; dup {
+			return true
+		}
+		e.seen[string(e.enc)] = struct{}{}
+	}
+	if e.skipping {
+		if string(e.enc) == e.cursor {
+			e.skipping = false
+		}
+		return true
+	}
+	if !e.yield(e.copyBinding(), nil) {
+		return false
+	}
+	e.yielded++
+	return e.limit <= 0 || e.yielded < e.limit
+}
+
+// mergeRow applies the leaf bookkeeping (dedup, cursor skip, limit) to a
+// row a worker already derived and keyed — the merge-side twin of emit,
+// byte-identical in effect because the worker computed the key with the
+// same tuple encoding and the rows arrive in sequential stream order.
+func (e *executor) mergeRow(r parallelRow) bool {
+	if e.dedup {
+		if _, dup := e.seen[string(r.key)]; dup {
+			return true
+		}
+		e.seen[string(r.key)] = struct{}{}
+	}
+	if e.skipping {
+		if string(r.key) == e.cursor {
+			e.skipping = false
+		}
+		return true
+	}
+	if !e.yield(r.b, nil) {
+		return false
+	}
+	e.yielded++
+	return e.limit <= 0 || e.yielded < e.limit
+}
+
+// copyBinding snapshots the current partial binding restricted to the
+// query's variables — the detached row handed to the consumer.
+func (e *executor) copyBinding() Binding {
+	b := make(Binding, len(e.plan.vars))
+	for _, name := range e.plan.vars {
+		b[name] = e.bound[name]
+	}
+	return b
+}
+
+// bindVar extends the partial binding with name=val, reporting false on a
+// conflict with an existing binding (Equal semantics, matching the join).
+// Newly bound names are recorded in added for rollback.
+func (e *executor) bindVar(name string, val kg.Value, added *[2]string, n *int) bool {
+	if name == "" {
+		return true
+	}
+	if existing, has := e.bound[name]; has {
+		return existing.Equal(val)
+	}
+	e.bound[name] = val
+	added[*n] = name
+	*n++
+	return true
+}
+
+// expandStep appends the triples matching the clause through the step's
+// access path to buf and returns it. Candidates are copied out under the
+// index locks (one consistent read per index touched) so the caller can
+// enumerate and recurse lock-free. Bound-object clauses read one posting
+// list from the predicate-major index; unbound clauses enumerate the
+// predicate's postings and are sorted into (subject, object key) order,
+// because the underlying map iteration is the one candidate source with
+// no inherent deterministic order and the stream order must be
+// reproducible for cursors.
+func expandStep(g conjGraph, c Clause, path AccessPath, bound Binding, buf []kg.Triple) []kg.Triple {
+	switch path {
+	case PathHasFact:
+		s, _ := resolve(c.Subject, bound)
+		o, _ := resolve(c.Object, bound)
+		if g.HasFact(s.Entity, c.Predicate, o) {
+			buf = append(buf, kg.Triple{Subject: s.Entity, Predicate: c.Predicate, Object: o})
+		}
+		return buf
+	case PathFacts:
+		s, _ := resolve(c.Subject, bound)
+		g.FactsFunc(s.Entity, c.Predicate, func(t kg.Triple) bool {
+			buf = append(buf, t)
+			return true
+		})
+		return buf
+	case PathPosting:
+		o, _ := resolve(c.Object, bound)
+		// The count is only a capacity hint: the streaming read below is
+		// the single consistent enumeration (a writer may land between the
+		// two stripe acquisitions, so never truncate at the hint).
+		buf = slices.Grow(buf, g.SubjectsWithCount(c.Predicate, o))
+		g.SubjectsWithFunc(c.Predicate, o, func(sub kg.EntityID) bool {
+			buf = append(buf, kg.Triple{Subject: sub, Predicate: c.Predicate, Object: o})
+			return true
+		})
+		return buf
+	default: // PathScan
+		start := len(buf)
+		g.PredicateEntriesFunc(c.Predicate, func(obj kg.Value, subj kg.EntityID) bool {
+			buf = append(buf, kg.Triple{Subject: subj, Predicate: c.Predicate, Object: obj})
+			return true
+		})
+		ext := buf[start:]
+		slices.SortFunc(ext, func(a, b kg.Triple) int {
+			if a.Subject != b.Subject {
+				if a.Subject < b.Subject {
+					return -1
+				}
+				return 1
+			}
+			return a.Object.MapKey().Compare(b.Object.MapKey())
+		})
+		return buf
+	}
+}

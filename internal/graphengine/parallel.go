@@ -1,0 +1,198 @@
+package graphengine
+
+import (
+	"slices"
+	"sync"
+
+	"saga/internal/kg"
+)
+
+// Parallel plan execution. The first plan step's candidate list is
+// partitioned into units of parallelUnitSize; K workers claim units and
+// run the remaining join independently, collecting raw rows; the merge
+// (on the consumer's goroutine) waits for units in production order and
+// applies the global dedup, cursor skip, and limit there — so the output
+// stream, including cursors and the dedup set, is byte-identical to the
+// sequential executor for every K. Once the limit fills (or the consumer
+// breaks), the merge closes the stop channel: the producer quits between
+// sends and workers between units/candidates, bounding wasted work to
+// the units in flight.
+//
+// Workers never dedup or count rows themselves — those are global
+// properties of the stream order, which only the merge point sees.
+
+// parallelUnitSize is how many first-step candidates one work unit
+// carries. Small enough that K workers stay busy on modest candidate
+// lists, large enough that per-unit channel and allocation overhead
+// stays amortized.
+const parallelUnitSize = 128
+
+// parallelRow is one complete binding a worker derived: a detached copy
+// plus its encoded key tuple (computed only when the merge needs it for
+// dedup or cursor replay).
+type parallelRow struct {
+	b   Binding
+	key []byte
+}
+
+// parallelUnit is one slice of the first step's candidates, claimed by a
+// worker, with the derived rows published before done closes.
+type parallelUnit struct {
+	cands []kg.Triple
+	rows  []parallelRow
+	err   error
+	done  chan struct{}
+}
+
+// parallelizable reports whether the plan has a first step worth
+// partitioning. A fully resolved first step has exactly one candidate;
+// an empty plan yields the single empty binding — both run sequential.
+func parallelizable(p *Plan) bool {
+	return len(p.steps) > 0 && p.steps[0].Path != PathHasFact
+}
+
+// runParallel executes ex's plan with the given worker count, leaving
+// ex.err set exactly as the sequential path would on cancellation.
+func runParallel(ex *executor, workers int) {
+	step0 := ex.plan.steps[0]
+	c0 := ex.clauses[step0.Input]
+	keyed := ex.dedup || ex.skipping
+
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopCh) }) }
+	defer stop()
+
+	orderCh := make(chan *parallelUnit, workers*2)
+	unitCh := make(chan *parallelUnit, workers*2)
+
+	go func() {
+		defer close(orderCh)
+		defer close(unitCh)
+		produceUnits(ex, c0, step0.Path, func(u *parallelUnit) bool {
+			// orderCh first: the merge must see every unit a worker can
+			// claim, in production order.
+			select {
+			case orderCh <- u:
+			case <-stopCh:
+				return false
+			}
+			select {
+			case unitCh <- u:
+			case <-stopCh:
+				return false
+			}
+			return true
+		})
+	}()
+
+	for i := 0; i < workers; i++ {
+		go parallelWorker(ex, c0, keyed, stopCh, unitCh)
+	}
+
+	// Merge in production order. After an early exit the loop keeps
+	// draining orderCh without waiting on units, so the producer
+	// unblocks, notices the stop, and closes the channels.
+	stopped := false
+	for u := range orderCh {
+		if stopped {
+			continue
+		}
+		<-u.done
+		if u.err != nil {
+			ex.err = u.err
+			stop()
+			stopped = true
+			continue
+		}
+		for _, r := range u.rows {
+			if !ex.mergeRow(r) {
+				stop()
+				stopped = true
+				break
+			}
+		}
+	}
+}
+
+// produceUnits partitions the first step's candidates and hands each
+// unit to send, in stream order. A chunked first step (bound-object
+// clause with dedup on) maps each posting slab to one unit without ever
+// materializing the full candidate list; other paths expand buffered and
+// split.
+func produceUnits(ex *executor, c0 Clause, path AccessPath, send func(*parallelUnit) bool) {
+	if path == PathPosting && ex.chunked {
+		ov, _ := resolve(c0.Object, ex.bound)
+		ex.g.SubjectsWithChunked(c0.Predicate, ov, parallelUnitSize, func(chunk []kg.EntityID, restarted bool) bool {
+			cands := make([]kg.Triple, len(chunk))
+			for i, sub := range chunk {
+				cands[i] = kg.Triple{Subject: sub, Predicate: c0.Predicate, Object: ov}
+			}
+			return send(&parallelUnit{cands: cands, done: make(chan struct{})})
+		})
+		return
+	}
+	buf := expandStep(ex.g, c0, path, ex.bound, nil)
+	for start := 0; start < len(buf); start += parallelUnitSize {
+		end := min(start+parallelUnitSize, len(buf))
+		if !send(&parallelUnit{cands: buf[start:end], done: make(chan struct{})}) {
+			return
+		}
+	}
+}
+
+// parallelWorker claims units and runs the remaining join (plan steps
+// after the first) for each candidate, publishing raw rows in DFS order.
+// The worker executor carries no dedup/cursor/limit state — sink mode
+// collects every derivation and the merge filters globally.
+func parallelWorker(ex *executor, c0 Clause, keyed bool, stopCh chan struct{}, unitCh chan *parallelUnit) {
+	w := &executor{
+		g:       ex.g,
+		plan:    ex.plan,
+		clauses: ex.clauses,
+		bound:   make(Binding, len(ex.plan.vars)),
+		bufs:    make([][]kg.Triple, len(ex.plan.steps)),
+		keys:    make([]kg.ValueKey, len(ex.plan.vars)),
+		chunked: ex.chunked,
+		ctx:     ex.ctx,
+		keyed:   keyed,
+		halt: func() bool {
+			select {
+			case <-stopCh:
+				return true
+			default:
+				return false
+			}
+		},
+	}
+	for {
+		var u *parallelUnit
+		var ok bool
+		select {
+		case u, ok = <-unitCh:
+			if !ok {
+				return
+			}
+		case <-stopCh:
+			return
+		}
+		w.sink = func(b Binding, key []byte) bool {
+			r := parallelRow{b: b}
+			if keyed {
+				r.key = slices.Clone(key)
+			}
+			u.rows = append(u.rows, r)
+			return true
+		}
+		for _, t := range u.cands {
+			if !w.candidate(0, c0, t) {
+				break
+			}
+		}
+		if w.err != nil {
+			u.err = w.err
+			w.err = nil
+		}
+		close(u.done)
+	}
+}

@@ -79,6 +79,15 @@ type QueryOptions struct {
 	// Context aborts the solve when cancelled (nil = never). The stream
 	// yields the context error as its final element.
 	Context context.Context
+
+	// Parallelism runs a conjunctive solve with this many workers
+	// partitioning the first plan step's candidates (<= 1 = sequential).
+	// The output stream is byte-identical to the sequential one — same
+	// row order, dedup set, and cursors — for every worker count; only
+	// wall-clock changes. Workers are cancelled as soon as the limit
+	// fills, the consumer breaks, or Context is cancelled. The flag is a
+	// no-op for StreamPattern.
+	Parallelism int
 }
 
 // conjGraph is the read surface the conjunctive solver touches. It is an
@@ -91,6 +100,7 @@ type conjGraph interface {
 	HasFact(kg.EntityID, kg.PredicateID, kg.Value) bool
 	FactsFunc(kg.EntityID, kg.PredicateID, func(kg.Triple) bool)
 	SubjectsWithFunc(kg.PredicateID, kg.Value, func(kg.EntityID) bool)
+	SubjectsWithChunked(kg.PredicateID, kg.Value, int, func([]kg.EntityID, bool) bool)
 	PredicateEntriesFunc(kg.PredicateID, func(kg.Value, kg.EntityID) bool)
 }
 
@@ -103,45 +113,84 @@ type conjGraph interface {
 //
 // # Order
 //
-// The stream order is the planner's depth-first order and it is
-// deterministic for a fixed graph state: clauses are re-planned at every
-// join depth from counter estimates (ties keep the earlier clause), and
-// the candidates of each expansion enumerate in index (assertion) order —
-// except unbound-clause expansions, which are map-backed and therefore
-// sorted by (subject, object key) before enumeration. The same graph and
-// query always stream the same sequence, which is what Cursor resumption
-// relies on. The order is NOT the sorted order of QueryConjunctive; that
-// shim sorts after collecting.
+// The stream order is the plan's depth-first order and it is
+// deterministic for a fixed graph state: the planner fixes a clause
+// order once from counter estimates (ties keep the earlier clause — see
+// buildPlan), and the candidates of each expansion enumerate in index
+// (assertion) order — except unbound-clause expansions, which are
+// map-backed and therefore sorted by (subject, object key) before
+// enumeration. The same plan and graph always stream the same sequence,
+// which is what Cursor resumption relies on; the Engine's plan cache
+// returns the same plan for an unchanged shape, so consecutive pages
+// replay identically. The order is NOT the sorted order of
+// QueryConjunctive; that shim sorts after collecting.
 //
-// Candidate expansion is buffered per join node (candidates are copied
-// out under the index locks, then enumerated lock-free), so yields run
-// with no graph locks held — the consumer may freely read the graph or
-// block — and the delay between consecutive yields is bounded by one
-// node's fan-out, not the result size.
+// Candidate expansion never holds graph locks across a yield — bound-
+// object clauses stream postingChunkSize-entry slabs per lock
+// acquisition, other paths buffer one node's candidates — so the
+// consumer may freely read the graph or block, and the delay between
+// consecutive yields is bounded by one node's fan-out, not the result
+// size.
 //
 // Errors (clause validation, cursor shape, context cancellation) are
 // yielded as the final (nil, err) element; rows always carry a nil error.
 func (e *Engine) StreamConjunctive(clauses []Clause, opts QueryOptions) iter.Seq2[Binding, error] {
-	return streamConjunctive(e.g, clauses, opts)
+	return streamPlanned(e.g, clauses, opts, func() *Plan {
+		return e.plans.plan(e.g, clauses, shapeKey(clauses))
+	})
 }
 
 // streamConjunctive is StreamConjunctive over the solver's graph
-// interface (tests interpose counting wrappers here).
+// interface (tests interpose counting wrappers here). It plans per call,
+// with no cache.
 func streamConjunctive(g conjGraph, clauses []Clause, opts QueryOptions) iter.Seq2[Binding, error] {
-	return func(yield func(Binding, error) bool) {
-		for i, c := range clauses {
-			if c.Subject.Var == "" && !c.Subject.Const.IsEntity() {
-				yield(nil, fmt.Errorf("graphengine: clause %d: constant subject must be an entity", i))
-				return
-			}
-			if c.Predicate == kg.NoPredicate {
-				yield(nil, fmt.Errorf("graphengine: clause %d: predicate required", i))
-				return
-			}
+	return streamPlanned(g, clauses, opts, func() *Plan {
+		return buildPlan(g, clauses, "")
+	})
+}
+
+// validateClauses checks the structural invariants every entry point
+// (streaming, explain) enforces before planning.
+func validateClauses(clauses []Clause) error {
+	for i, c := range clauses {
+		if c.Subject.Var == "" && !c.Subject.Const.IsEntity() {
+			return fmt.Errorf("graphengine: clause %d: constant subject must be an entity", i)
 		}
-		vars := queryVars(clauses)
-		if len(opts.Cursor) > 0 && len(opts.Cursor) != len(vars) {
-			yield(nil, fmt.Errorf("graphengine: cursor has %d values, query has %d variables", len(opts.Cursor), len(vars)))
+		if c.Predicate == kg.NoPredicate {
+			return fmt.Errorf("graphengine: clause %d: predicate required", i)
+		}
+	}
+	return nil
+}
+
+// PlanConjunctive validates the query and returns its plan, through the
+// Engine's plan cache — the explain surface. The returned Plan is
+// immutable and safe to hold.
+func (e *Engine) PlanConjunctive(clauses []Clause) (*Plan, error) {
+	if err := validateClauses(clauses); err != nil {
+		return nil, err
+	}
+	return e.plans.plan(e.g, clauses, shapeKey(clauses)), nil
+}
+
+// PlanCacheStats snapshots the Engine's plan-cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	return e.plans.stats()
+}
+
+// streamPlanned is the shared entry body: validate, plan (the planFn
+// decides caching), build an executor, and run it sequentially or in
+// parallel. planFn runs inside the iterator so each `range` over the
+// returned sequence replans against current counters.
+func streamPlanned(g conjGraph, clauses []Clause, opts QueryOptions, planFn func() *Plan) iter.Seq2[Binding, error] {
+	return func(yield func(Binding, error) bool) {
+		if err := validateClauses(clauses); err != nil {
+			yield(nil, err)
+			return
+		}
+		p := planFn()
+		if len(opts.Cursor) > 0 && len(opts.Cursor) != len(p.vars) {
+			yield(nil, fmt.Errorf("graphengine: cursor has %d values, query has %d variables", len(opts.Cursor), len(p.vars)))
 			return
 		}
 		ctx := opts.Context
@@ -154,28 +203,33 @@ func streamConjunctive(g conjGraph, clauses []Clause, opts QueryOptions) iter.Se
 			ctx, cancel = context.WithTimeout(base, opts.Timeout)
 			defer cancel()
 		}
-		s := &streamSolver{
+		ex := &executor{
 			g:       g,
-			vars:    vars,
-			clauses: slices.Clone(clauses),
-			bound:   make(Binding, len(vars)),
-			bufs:    make([][]kg.Triple, len(clauses)),
-			keys:    make([]kg.ValueKey, len(vars)),
+			plan:    p,
+			clauses: clauses,
+			bound:   make(Binding, len(p.vars)),
+			bufs:    make([][]kg.Triple, len(p.steps)),
+			keys:    make([]kg.ValueKey, len(p.vars)),
 			dedup:   !opts.NoDedup,
+			chunked: !opts.NoDedup,
 			limit:   opts.Limit,
 			ctx:     ctx,
 			yield:   yield,
 		}
-		if s.dedup {
-			s.seen = make(map[string]struct{})
+		if ex.dedup {
+			ex.seen = make(map[string]struct{})
 		}
 		if len(opts.Cursor) > 0 {
-			s.cursor = string(appendKeyTuple(nil, opts.Cursor))
-			s.skipping = true
+			ex.cursor = string(appendKeyTuple(nil, opts.Cursor))
+			ex.skipping = true
 		}
-		s.solve(0)
-		if s.err != nil {
-			yield(nil, s.err)
+		if opts.Parallelism > 1 && parallelizable(p) {
+			runParallel(ex, opts.Parallelism)
+		} else {
+			ex.exec(0)
+		}
+		if ex.err != nil {
+			yield(nil, ex.err)
 		}
 	}
 }
@@ -193,144 +247,6 @@ func queryVars(clauses []Clause) []string {
 	}
 	sort.Strings(vars)
 	return vars
-}
-
-// streamSolver carries the state of one StreamConjunctive evaluation: the
-// in-place reorderable clause list, the mutable partial binding, per-depth
-// expansion buffers reused across sibling nodes, and the streaming dedup/
-// cursor/limit state.
-type streamSolver struct {
-	g       conjGraph
-	vars    []string
-	clauses []Clause
-	bound   Binding
-	bufs    [][]kg.Triple // per-depth candidate scratch, reused across siblings
-	keys    []kg.ValueKey // leaf key-tuple scratch
-	enc     []byte        // leaf key-encoding scratch
-	dedup   bool          // collapse duplicate rows (seen non-nil iff set)
-	seen    map[string]struct{}
-
-	cursor   string // encoded cursor tuple; "" = none
-	skipping bool   // still replaying rows up to and including the cursor
-	limit    int    // <= 0 = unlimited
-	yielded  int
-	ctx      context.Context
-	err      error // context error to surface after unwinding
-	yield    func(Binding, error) bool
-}
-
-// solve evaluates clauses[idx:] under the current binding, yielding
-// complete bindings depth-first. It returns false to abort the whole
-// enumeration (consumer break, limit reached, or context cancelled).
-func (s *streamSolver) solve(idx int) bool {
-	if s.ctx != nil {
-		if err := s.ctx.Err(); err != nil {
-			s.err = err
-			return false
-		}
-	}
-	if idx == len(s.clauses) {
-		return s.emit()
-	}
-	// Re-pick the cheapest unresolved clause at this depth; ties keep the
-	// earlier clause, so planning is deterministic.
-	best := idx
-	bestCost := estimateOn(s.g, s.clauses[idx], s.bound)
-	for j := idx + 1; j < len(s.clauses); j++ {
-		if cost := estimateOn(s.g, s.clauses[j], s.bound); cost < bestCost {
-			best, bestCost = j, cost
-		}
-	}
-	s.clauses[idx], s.clauses[best] = s.clauses[best], s.clauses[idx]
-	chosen := s.clauses[idx]
-
-	// Fully resolved clause: a single membership check, no candidate
-	// buffer and no bindings to roll back. The lookup is SPO identity; a
-	// var-bound object then re-applies the join's Equal semantics, so a
-	// NaN-valued binding is pruned here exactly as bindVar prunes it on
-	// the general path.
-	if sv, sBound := resolve(chosen.Subject, s.bound); sBound {
-		if ov, oBound := resolve(chosen.Object, s.bound); oBound {
-			if s.g.HasFact(sv.Entity, chosen.Predicate, ov) &&
-				(chosen.Object.Var == "" || ov.Equal(ov)) {
-				return s.solve(idx + 1)
-			}
-			return true
-		}
-	}
-
-	// Buffered expansion: candidates are copied out under the index locks
-	// and enumerated lock-free, so the recursion (and the consumer's loop
-	// body) never runs inside a graph lock.
-	s.bufs[idx] = expandAppend(s.g, chosen, s.bound, s.bufs[idx][:0])
-	for _, t := range s.bufs[idx] {
-		// A clause binds at most two variables; track them in a fixed
-		// array so each match costs no bookkeeping allocations.
-		var added [2]string
-		n := 0
-		ok := s.bindVar(chosen.Subject.Var, kg.EntityValue(t.Subject), &added, &n) &&
-			s.bindVar(chosen.Object.Var, t.Object, &added, &n)
-		cont := true
-		if ok {
-			cont = s.solve(idx + 1)
-		}
-		for i := 0; i < n; i++ {
-			delete(s.bound, added[i])
-		}
-		if !cont {
-			return false
-		}
-	}
-	return true
-}
-
-// emit handles a complete binding at a leaf: streaming dedup on the key
-// tuple (unless NoDedup), cursor skip, limit accounting, and the yield
-// itself.
-func (s *streamSolver) emit() bool {
-	if s.dedup || s.skipping {
-		for i, name := range s.vars {
-			s.keys[i] = s.bound[name].MapKey()
-		}
-		s.enc = appendKeyTuple(s.enc[:0], s.keys)
-	}
-	if s.dedup {
-		if _, dup := s.seen[string(s.enc)]; dup {
-			return true
-		}
-		s.seen[string(s.enc)] = struct{}{}
-	}
-	if s.skipping {
-		if string(s.enc) == s.cursor {
-			s.skipping = false
-		}
-		return true
-	}
-	b := make(Binding, len(s.vars))
-	for _, name := range s.vars {
-		b[name] = s.bound[name]
-	}
-	if !s.yield(b, nil) {
-		return false
-	}
-	s.yielded++
-	return s.limit <= 0 || s.yielded < s.limit
-}
-
-// bindVar extends the partial binding with name=val, reporting false on a
-// conflict with an existing binding (Equal semantics, matching the join).
-// Newly bound names are recorded in added for rollback.
-func (s *streamSolver) bindVar(name string, val kg.Value, added *[2]string, n *int) bool {
-	if name == "" {
-		return true
-	}
-	if existing, has := s.bound[name]; has {
-		return existing.Equal(val)
-	}
-	s.bound[name] = val
-	added[*n] = name
-	*n++
-	return true
 }
 
 // Stream yields the triples matching the pattern, choosing the cheapest

@@ -205,6 +205,13 @@ func (c *countingGraph) SubjectsWithFunc(p kg.PredicateID, o kg.Value, fn func(k
 	})
 }
 
+func (c *countingGraph) SubjectsWithChunked(p kg.PredicateID, o kg.Value, chunkSize int, fn func([]kg.EntityID, bool) bool) {
+	c.Graph.SubjectsWithChunked(p, o, chunkSize, func(chunk []kg.EntityID, restarted bool) bool {
+		c.postings += len(chunk)
+		return fn(chunk, restarted)
+	})
+}
+
 // A limited solve must stop probing the graph once the page is full: with
 // every team member holding the award, each yielded row costs one
 // membership check, so limit rows cost limit checks — not one per member
@@ -539,6 +546,16 @@ func (d *dupGraph) SubjectsWithFunc(p kg.PredicateID, o kg.Value, fn func(kg.Ent
 			return false
 		}
 		return fn(id)
+	})
+}
+
+func (d *dupGraph) SubjectsWithChunked(p kg.PredicateID, o kg.Value, chunkSize int, fn func([]kg.EntityID, bool) bool) {
+	d.Graph.SubjectsWithChunked(p, o, chunkSize, func(chunk []kg.EntityID, restarted bool) bool {
+		doubled := make([]kg.EntityID, 0, 2*len(chunk))
+		for _, id := range chunk {
+			doubled = append(doubled, id, id)
+		}
+		return fn(doubled, restarted)
 	})
 }
 

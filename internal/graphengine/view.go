@@ -12,10 +12,35 @@
 // The query surface is iterator-first (see stream.go): Stream and
 // StreamConjunctive yield matches as the planner produces them, with one
 // QueryOptions struct for limit push-down, cursor pagination, provenance
-// routing, timeouts, and context cancellation — the serving-path
-// contract, where evaluation cost tracks output consumed. The
-// slice-returning Query and QueryConjunctive are collect(-and-sort)
+// routing, timeouts, context cancellation, and parallel execution — the
+// serving-path contract, where evaluation cost tracks output consumed.
+// The slice-returning Query and QueryConjunctive are collect(-and-sort)
 // shims over the streams.
+//
+// # Plan / executor contract
+//
+// Conjunctive evaluation is split into two layers. The planner
+// (plan.go) turns a query into an immutable Plan: a clause execution
+// order, one statically chosen access path per step (has_fact probe,
+// subject-major facts read, predicate-major posting read, or sorted
+// predicate scan), and the build-time cardinality estimates that chose
+// the order. The executor (executor.go) runs a Plan depth-first with
+// streaming dedup, cursor replay, and limit push-down; it never
+// re-plans, so a fixed plan over a fixed graph state always streams the
+// same sequence. QueryOptions.Parallelism partitions the first step's
+// candidates across workers (parallel.go) with the merge preserving that
+// exact sequence.
+//
+// Plans reference the caller's clauses by index and carry no constant
+// values, so the Engine caches them by query shape — predicate IDs plus
+// each position's variable-name-or-constant signature (shapeKey). A
+// cached plan is revalidated against the graph's predicate counters on
+// every hit: if any predicate's frequency has drifted from the plan's
+// build-time snapshot by more than 64 AND more than 2x in either
+// direction, the plan is invalidated and rebuilt, so a stale clause
+// ordering self-corrects without any write-path hook. Cache hits skip
+// planning entirely (no FactCount/SubjectsWithCount probes); see
+// PlanCacheStats for the hit/miss/invalidation/eviction counters.
 package graphengine
 
 import (
@@ -82,12 +107,17 @@ type Engine struct {
 	mu    sync.Mutex
 	views map[string]*View
 
-	snap snapshotCache
+	snap  snapshotCache
+	plans *planCache
 }
 
 // New returns an engine over g.
 func New(g *kg.Graph) *Engine {
-	return &Engine{g: g, views: make(map[string]*View)}
+	return &Engine{
+		g:     g,
+		views: make(map[string]*View),
+		plans: newPlanCache(planCacheCapacity),
+	}
 }
 
 // Graph returns the underlying graph.

@@ -92,6 +92,14 @@ type posting struct {
 	subs []EntityID
 	dead int
 	idx  map[EntityID]int32
+	// ver is the posting's slot-stability epoch: it advances whenever an
+	// operation shifts surviving subjects to new slots (a short-list
+	// splice or a compaction), and only then. Appends extend the tail and
+	// tombstoning zeroes a slot in place, so neither moves a survivor —
+	// a chunked reader (SubjectsWithChunked) that resumes at a saved
+	// offset under an unchanged ver can never skip or re-read a subject
+	// that was present throughout; a ver change tells it to restart.
+	ver uint32
 }
 
 func (p posting) live() int { return len(p.subs) - p.dead }
@@ -108,6 +116,7 @@ func (p posting) remove(subj EntityID) posting {
 	if p.idx == nil {
 		if len(p.subs) < postingIdxThreshold {
 			p.subs = removeEntity(p.subs, subj)
+			p.ver++
 			return p
 		}
 		p.idx = make(map[EntityID]int32, len(p.subs))
@@ -139,6 +148,7 @@ func (p posting) compact() posting {
 	}
 	p.subs = live
 	p.dead = 0
+	p.ver++
 	for i, s := range p.subs {
 		p.idx[s] = int32(i)
 	}
@@ -332,6 +342,86 @@ func (g *Graph) SubjectsWithFunc(pred PredicateID, obj Value, fn func(EntityID) 
 			continue
 		}
 		if !fn(s) {
+			return
+		}
+	}
+}
+
+// SubjectsWithChunked streams the subjects carrying (pred, obj) facts to
+// fn in chunks of at most chunkSize, copying each chunk out under one
+// stripe read-lock acquisition and invoking fn with no locks held — the
+// bounded-copy counterpart of SubjectsWith for huge postings, where a
+// limit=10 query should not pay a million-entry slab copy before its
+// first row. fn may read the graph freely and stops the enumeration by
+// returning false; the chunk slice is reused across calls and must not
+// be retained.
+//
+// Because the posting can mutate between chunk reads, resumption is
+// guarded by the posting's slot-stability epoch: appends and in-place
+// tombstones leave saved offsets valid, but a splice or compaction
+// shifts slots, and the reader then restarts from the beginning and
+// delivers the next chunk with restarted=true — the caller must
+// tolerate re-delivered subjects (the conjunctive executor's streaming
+// dedup absorbs them). The guarantee is one-sided, matching a slab
+// copy's: every subject present for the whole enumeration is delivered
+// at least once, and no subject is delivered that was never present;
+// subjects asserted or retracted concurrently may or may not appear.
+func (g *Graph) SubjectsWithChunked(pred PredicateID, obj Value, chunkSize int, fn func(chunk []EntityID, restarted bool) bool) {
+	if chunkSize <= 0 {
+		chunkSize = 1024
+	}
+	g.pomSync()
+	st := g.pomStripe(pred)
+	key := obj.MapKey()
+	var buf []EntityID
+	var (
+		off       int
+		ver       uint32
+		first     = true
+		restarted bool
+	)
+	for {
+		st.mu.RLock()
+		pp := st.preds[pred]
+		var p posting
+		if pp != nil {
+			p = pp.objs[key]
+		}
+		if first {
+			ver = p.ver
+			first = false
+			// Size the chunk buffer to the smaller of the chunk and the
+			// posting itself: a selective query over an 8-subject posting
+			// must not pay a chunkSize-capacity allocation.
+			if n := p.live(); n > 0 {
+				if n > chunkSize {
+					n = chunkSize
+				}
+				buf = make([]EntityID, 0, n)
+			}
+		} else if p.ver != ver {
+			// Slots shifted under us: restart, flagging the next chunk so
+			// the caller knows earlier subjects may be delivered again.
+			ver = p.ver
+			off = 0
+			restarted = true
+		}
+		buf = buf[:0]
+		for off < len(p.subs) && len(buf) < chunkSize {
+			if s := p.subs[off]; s != NoEntity {
+				buf = append(buf, s)
+			}
+			off++
+		}
+		end := off >= len(p.subs)
+		st.mu.RUnlock()
+		if len(buf) > 0 {
+			if !fn(buf, restarted) {
+				return
+			}
+			restarted = false
+		}
+		if end {
 			return
 		}
 	}

@@ -1,0 +1,180 @@
+package kg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// chunkedFixture builds a graph with n subjects all asserting
+// (pred, team) plus a decoy posting on the same predicate, and returns
+// the pieces the chunked-read tests need.
+func chunkedFixture(t testing.TB, n int) (g *Graph, pred PredicateID, team Value, subs []EntityID) {
+	t.Helper()
+	g = NewGraphWithShards(4)
+	p, err := g.AddPredicate(Predicate{Name: "memberOf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teamID, err := g.AddEntity(Entity{Key: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoy, err := g.AddEntity(Entity{Key: "decoy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team = EntityValue(teamID)
+	batch := make([]Triple, 0, n+1)
+	for i := 0; i < n; i++ {
+		id, err := g.AddEntity(Entity{Key: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, id)
+		batch = append(batch, Triple{Subject: id, Predicate: p, Object: team})
+	}
+	batch = append(batch, Triple{Subject: subs[0], Predicate: p, Object: EntityValue(decoy)})
+	if _, err := g.AssertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	return g, p, team, subs
+}
+
+// Chunked enumeration over a quiescent graph must reproduce
+// SubjectsWith exactly — same subjects, same posting order — in chunks
+// no larger than requested, with no restarts.
+func TestSubjectsWithChunkedMatchesSlab(t *testing.T) {
+	const n = 300
+	g, pred, team, _ := chunkedFixture(t, n)
+	want := g.SubjectsWith(pred, team)
+	if len(want) != n {
+		t.Fatalf("slab read = %d subjects, want %d", len(want), n)
+	}
+	for _, chunkSize := range []int{1, 7, 64, 300, 1000} {
+		var got []EntityID
+		chunks := 0
+		g.SubjectsWithChunked(pred, team, chunkSize, func(chunk []EntityID, restarted bool) bool {
+			if restarted {
+				t.Fatalf("chunkSize %d: restart on a quiescent graph", chunkSize)
+			}
+			if len(chunk) > chunkSize {
+				t.Fatalf("chunkSize %d: got chunk of %d", chunkSize, len(chunk))
+			}
+			got = append(got, chunk...)
+			chunks++
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("chunkSize %d: %d subjects, want %d", chunkSize, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunkSize %d: subject %d = %d, slab read has %d (order diverged)", chunkSize, i, got[i], want[i])
+			}
+		}
+		if wantChunks := (n + chunkSize - 1) / chunkSize; chunks != wantChunks {
+			t.Fatalf("chunkSize %d: delivered %d chunks, want %d", chunkSize, chunks, wantChunks)
+		}
+	}
+}
+
+// Early termination stops the enumeration after the first chunk; the
+// graph must remain writable afterwards (no lock leaked).
+func TestSubjectsWithChunkedEarlyStop(t *testing.T) {
+	g, pred, team, subs := chunkedFixture(t, 100)
+	calls := 0
+	g.SubjectsWithChunked(pred, team, 10, func(chunk []EntityID, restarted bool) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early-stopped enumeration delivered %d chunks, want 1", calls)
+	}
+	if !g.Retract(Triple{Subject: subs[0], Predicate: pred, Object: team}) {
+		t.Fatal("retract after early-stopped enumeration failed")
+	}
+}
+
+// A splice or compaction between chunk reads must trigger a restart (the
+// epoch check), and the union of delivered subjects must still cover
+// every subject that stayed in the posting throughout.
+func TestSubjectsWithChunkedRestartOnCompaction(t *testing.T) {
+	const n = 200
+	g, pred, team, subs := chunkedFixture(t, n)
+
+	// Retract from inside the callback (it runs lock-free): removing
+	// enough early subjects forces tombstones and then a compaction,
+	// which shifts slots and must flip the epoch.
+	removed := map[EntityID]bool{}
+	sawRestart := false
+	delivered := map[EntityID]int{}
+	g.SubjectsWithChunked(pred, team, 16, func(chunk []EntityID, restarted bool) bool {
+		if restarted {
+			sawRestart = true
+		}
+		for _, s := range chunk {
+			delivered[s]++
+		}
+		if len(removed) == 0 {
+			// Retract half the subjects so the posting's dead ratio
+			// crosses the compaction threshold, then sync so the pom
+			// applies the buffered deltas mid-enumeration.
+			for _, s := range subs[n/2:] {
+				if !g.Retract(Triple{Subject: s, Predicate: pred, Object: team}) {
+					t.Fatalf("retract of %d failed", s)
+				}
+				removed[s] = true
+			}
+			g.SyncIndexes()
+		}
+		return true
+	})
+	if !sawRestart {
+		t.Fatal("compaction mid-enumeration did not trigger a restart")
+	}
+	for _, s := range subs {
+		if removed[s] {
+			continue
+		}
+		if delivered[s] == 0 {
+			t.Fatalf("subject %d stayed in the posting but was never delivered", s)
+		}
+	}
+}
+
+// The restart flag exists so callers can dedup re-deliveries; verify a
+// restart actually re-delivers (the documented at-least-once semantics)
+// rather than silently resuming at a stale offset.
+func TestSubjectsWithChunkedRedeliversAfterRestart(t *testing.T) {
+	const n = 64
+	g, pred, team, subs := chunkedFixture(t, n)
+	delivered := map[EntityID]int{}
+	spliced := false
+	g.SubjectsWithChunked(pred, team, 8, func(chunk []EntityID, restarted bool) bool {
+		for _, s := range chunk {
+			delivered[s]++
+		}
+		if !spliced {
+			spliced = true
+			// Retract half the posting so the tombstone ratio trips
+			// compaction (slots shift left past our saved offset), then
+			// sync to apply the buffered deltas.
+			for _, s := range subs[n/2:] {
+				if !g.Retract(Triple{Subject: s, Predicate: pred, Object: team}) {
+					t.Fatalf("retract of %d failed", s)
+				}
+			}
+			g.SyncIndexes()
+		}
+		return true
+	})
+	dups := 0
+	for _, c := range delivered {
+		if c > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("restart delivered no subject twice — offset was not rewound")
+	}
+}

@@ -1,0 +1,24 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing operational counter, safe for
+// concurrent use. Where the rest of this package scores offline
+// evaluation runs, Counter is the serving-tier observability primitive:
+// subsystems (e.g. the graph engine's plan cache) embed counters and
+// expose snapshots of them through their stats accessors, and the HTTP
+// layer surfaces those snapshots on its health endpoint. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauge-style corrections, though
+// counters are conventionally monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }

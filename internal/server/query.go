@@ -26,9 +26,22 @@ import (
 //
 //	{"bindings": [...], "count": 100, "limit": 100, "next_cursor": "..."}
 //
+// Setting "explain": true returns the execution plan instead of any
+// bindings — one entry per clause in execution order with its access
+// path ("posting", "facts", "has_fact", "scan") and estimated
+// cardinality — without running the query:
+//
+//	{"plan": [{"clause": 0, "path": "posting", "estimate": 12}, ...],
+//	 "variables": ["p"]}
+//
 // The solve streams (saga.Platform.QueryStream): it stops probing the
 // graph as soon as the page is full, and the request context aborts it
-// mid-join when the client disconnects. Serving-path guards bound what
+// mid-join when the client disconnects (in parallel mode the context
+// cancels every worker). When the server is configured with
+// QueryWorkers > 1 (kgserve -query-workers), the first clause's
+// candidates are partitioned across workers and merged back into the
+// exact sequential order, so responses and cursors are byte-identical
+// at any worker count. Serving-path guards bound what
 // one request can cost: bodies over 1 MiB are rejected with 413,
 // conjunctions over 32 clauses with 400, a request without a limit gets
 // the default page size, and limits above the maximum are clamped.
@@ -72,6 +85,7 @@ type queryRequest struct {
 	Clauses []queryClauseJSON `json:"clauses"`
 	Limit   *int              `json:"limit"`
 	Cursor  string            `json:"cursor"`
+	Explain bool              `json:"explain"`
 }
 
 func (s *Server) parseTerm(t queryTermJSON) (saga.QueryTerm, error) {
@@ -174,13 +188,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		clauses = append(clauses, saga.QueryClause{Subject: subj, Predicate: pred.ID, Object: obj})
 	}
 
+	// explain:true returns the execution plan instead of running the
+	// query: clause order, access paths, and build-time cardinality
+	// estimates, straight from the engine's plan cache.
+	if req.Explain {
+		plan, err := s.Platform.PlanQuery(clauses)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"plan":      plan.Describe(),
+			"variables": plan.Vars(),
+		})
+		return
+	}
+
 	// Stream one row past the page size: the extra row proves more answers
 	// remain without solving for them, and the page's last binding becomes
-	// the next_cursor token.
+	// the next_cursor token. QueryWorkers > 1 partitions the first clause
+	// across that many workers; the merged stream (and so every page and
+	// cursor) is byte-identical to the sequential one.
 	opts := saga.QueryOptions{
-		Limit:   limit + 1,
-		Cursor:  cursor,
-		Context: r.Context(),
+		Limit:       limit + 1,
+		Cursor:      cursor,
+		Context:     r.Context(),
+		Parallelism: s.QueryWorkers,
 	}
 	bindings := make([]saga.QueryBinding, 0, min(limit, 64))
 	more := false

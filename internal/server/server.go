@@ -24,10 +24,13 @@ import (
 )
 
 // Server holds the serving dependencies. Search is optional (nil disables
-// /search).
+// /search). QueryWorkers sets the parallelism of every POST /query solve
+// (0 or 1 runs sequentially); responses are byte-identical at any worker
+// count, so it is purely a throughput knob.
 type Server struct {
-	Platform *saga.Platform
-	Search   *websearch.Index
+	Platform     *saga.Platform
+	Search       *websearch.Index
+	QueryWorkers int
 }
 
 // New builds a Server over an initialized platform.
@@ -80,6 +83,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"entities":   g.NumEntities(),
 		"predicates": g.NumPredicates(),
 		"triples":    g.NumTriples(),
+		"plan_cache": s.Platform.QueryPlanCacheStats(),
 	})
 }
 

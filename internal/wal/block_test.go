@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"saga/internal/kg"
+)
+
+// Block payloads round-trip adversarial triple content exactly: NaN
+// floats, empty strings, zero and non-zero observation times, every
+// value kind the tripleBody codec covers.
+func TestTripleBlockRoundTrip(t *testing.T) {
+	ts := []kg.Triple{
+		{Subject: 1, Predicate: 2, Object: kg.EntityValue(3)},
+		{Subject: 4, Predicate: 5, Object: kg.FloatValue(math.NaN())},
+		{Subject: 6, Predicate: 7, Object: kg.StringValue("")},
+		{Subject: 8, Predicate: 9, Object: kg.StringValue("héllo\x00world")},
+		{Subject: 10, Predicate: 11, Object: kg.IntValue(-1), Prov: kg.Provenance{
+			Source: "src", Confidence: 0.25, SourceQuality: 0.5,
+			ObservedAt: time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC),
+		}},
+	}
+	p := encTripleBlock(nil, ts)
+	if p[0] != recTripleBlock {
+		t.Fatalf("payload type = %d, want %d", p[0], recTripleBlock)
+	}
+	var got []kg.Triple
+	if err := decTripleBlock(p, func(tr kg.Triple) error {
+		got = append(got, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("decoded %d triples, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i].IdentityKey() != ts[i].IdentityKey() {
+			t.Fatalf("triple %d: key %v, want %v", i, got[i].IdentityKey(), ts[i].IdentityKey())
+		}
+		if got[i].Prov != ts[i].Prov {
+			t.Fatalf("triple %d: prov %+v, want %+v", i, got[i].Prov, ts[i].Prov)
+		}
+	}
+	// An empty block is legal (and decodes to nothing).
+	if err := decTripleBlock(encTripleBlock(nil, nil), func(kg.Triple) error {
+		t.Fatal("empty block delivered a triple")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A truncated block payload errors without delivering the partially
+// decoded triple.
+func TestTripleBlockTruncation(t *testing.T) {
+	ts := []kg.Triple{
+		{Subject: 1, Predicate: 2, Object: kg.EntityValue(3)},
+		{Subject: 4, Predicate: 5, Object: kg.StringValue("tail")},
+	}
+	p := encTripleBlock(nil, ts)
+	for cut := len(p) - 1; cut > 5; cut -= 7 {
+		delivered := 0
+		err := decTripleBlock(p[:cut], func(kg.Triple) error {
+			delivered++
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("cut at %d decoded cleanly", cut)
+		}
+		if delivered > 1 {
+			t.Fatalf("cut at %d delivered %d triples from a torn two-triple block", cut, delivered)
+		}
+	}
+}
+
+// Checkpoints written before block framing carried one triple per frame
+// (recTriple). Rewrite a current checkpoint into that format on disk and
+// recover from it: the restored graph must be identical.
+func TestOldSingleTripleCheckpointRestores(t *testing.T) {
+	fs := NewFaultFS(23)
+	g, m, _ := mustOpen(t, fs, Options{Sync: SyncEachCommit})
+	s := newScripted(t, g, 23)
+	for i := 0; i < 200; i++ {
+		s.step()
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantTriples, wantWM := g.AllTriplesSnapshot()
+
+	names, _ := fs.ReadDir(testDir)
+	rewrote := false
+	for _, n := range names {
+		if !strings.HasPrefix(n, ckptPrefix) {
+			continue
+		}
+		p := filepath.Join(testDir, n)
+		r, err := fs.OpenRead(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(r)
+		r.Close()
+		var old []byte
+		blocks := 0
+		if _, err := scanFrames(n, bytes.NewReader(data), func(payload []byte) error {
+			if payload[0] != recTripleBlock {
+				old = appendFrame(old, payload)
+				return nil
+			}
+			blocks++
+			return decTripleBlock(payload, func(tr kg.Triple) error {
+				old = appendFrame(old, encTriple(nil, tr))
+				return nil
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if blocks == 0 {
+			t.Fatal("checkpoint contains no triple blocks — writer no longer block-frames")
+		}
+		f, err := fs.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(old); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		rewrote = true
+	}
+	if !rewrote {
+		t.Fatal("no checkpoint file found")
+	}
+
+	g2, m2, info := mustOpen(t, fs, Options{})
+	defer m2.Close()
+	if info.CheckpointLSN != wantWM {
+		t.Fatalf("recovered checkpoint LSN %d, want %d", info.CheckpointLSN, wantWM)
+	}
+	gotTriples, _ := g2.AllTriplesSnapshot()
+	if len(gotTriples) != len(wantTriples) {
+		t.Fatalf("restored %d triples, want %d", len(gotTriples), len(wantTriples))
+	}
+	for i := range wantTriples {
+		if gotTriples[i].IdentityKey() != wantTriples[i].IdentityKey() {
+			t.Fatalf("triple %d: %v, want %v", i, gotTriples[i].IdentityKey(), wantTriples[i].IdentityKey())
+		}
+	}
+}
+
+// A checkpoint of a graph larger than one block must still restore
+// exactly (multiple full blocks plus a remainder).
+func TestBlockCheckpointMultiBlockRestore(t *testing.T) {
+	fs := NewFaultFS(29)
+	g, m, _ := mustOpen(t, fs, Options{Sync: SyncEachCommit})
+	ent := make([]kg.EntityID, 0, 40)
+	for i := 0; i < 40; i++ {
+		id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("b%03d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ent = append(ent, id)
+	}
+	pred, err := g.AddPredicate(kg.Predicate{Name: "links"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]kg.Triple, 0, ckptTripleBlockSize*2+37)
+	for i := 0; i < cap(batch); i++ {
+		batch = append(batch, kg.Triple{
+			Subject:   ent[i%len(ent)],
+			Predicate: pred,
+			Object:    kg.IntValue(int64(i)),
+		})
+	}
+	if _, err := g.AssertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, m2, _ := mustOpen(t, fs, Options{})
+	defer m2.Close()
+	if got, want := g2.NumTriples(), g.NumTriples(); got != want {
+		t.Fatalf("restored %d triples, want %d", got, want)
+	}
+}

@@ -1,0 +1,121 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"saga/internal/graphengine"
+	"saga/internal/kg"
+)
+
+// BenchmarkE17Parallel measures the parallel query executor's
+// worker-count scaling curve (experiment E17, report-only — excluded
+// from the benchcmp gate; the curve depends on the machine's core
+// count, which bench.sh records per row as gomaxprocs/numcpu).
+//
+// The solve is the wide §1 conjunction from E14 — "people in the hot
+// team who hold the award", ~4096 answers — run to exhaustion so every
+// candidate is probed: workers=1 is the sequential executor (the
+// gate-relevant point: parallel plumbing must not tax it), workers=2/4/8
+// partition the first clause's posting across the pool and merge back
+// into the exact sequential order. On a single-core container the curve
+// is flat (merge overhead only); on multicore hardware the has_fact
+// probe fan-out dominates and the curve should bend toward the core
+// count.
+//
+// The plancache pair prices the planning seam the executor sits on:
+// "miss" builds a plan from scratch through a cold cache every
+// iteration (estimate probes included), "hit" reuses one hot shape and
+// pays only the counter revalidation — the cost every serving-path
+// query pays after the first of its shape.
+func BenchmarkE17Parallel(b *testing.B) {
+	g := kg.NewGraphWithShards(64)
+	add := func(key string) kg.EntityID {
+		id, err := g.AddEntity(kg.Entity{Key: key})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return id
+	}
+	member, _ := g.AddPredicate(kg.Predicate{Name: "memberOf"})
+	awardP, _ := g.AddPredicate(kg.Predicate{Name: "award"})
+	follows, _ := g.AddPredicate(kg.Predicate{Name: "follows"})
+	const nPeople = 8192
+	const nTeams = 64
+	teams := make([]kg.EntityID, nTeams)
+	for i := range teams {
+		teams[i] = add(fmt.Sprintf("team%d", i))
+	}
+	prize := add("prize")
+	people := make([]kg.EntityID, nPeople)
+	for i := range people {
+		people[i] = add(fmt.Sprintf("p%d", i))
+	}
+	batch := make([]kg.Triple, 0, nPeople*7)
+	for i, p := range people {
+		ti := 0
+		if i%2 == 1 {
+			ti = 1 + (i/2)%(nTeams-1)
+		}
+		batch = append(batch, kg.Triple{Subject: p, Predicate: member, Object: kg.EntityValue(teams[ti])})
+		if ti == 0 || i%7 == 0 {
+			batch = append(batch, kg.Triple{Subject: p, Predicate: awardP, Object: kg.EntityValue(prize)})
+		}
+		for j := 1; j <= 4; j++ {
+			batch = append(batch, kg.Triple{Subject: p, Predicate: follows, Object: kg.EntityValue(people[(i+j*131)%nPeople])})
+		}
+	}
+	if _, err := g.AssertBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	eng := graphengine.New(g)
+	clauses := []graphengine.Clause{
+		{Subject: graphengine.V("p"), Predicate: member, Object: graphengine.CE(teams[0])},
+		{Subject: graphengine.V("p"), Predicate: awardP, Object: graphengine.CE(prize)},
+	}
+	const wantRows = nPeople / 2
+
+	solve := func(b *testing.B, workers int) {
+		b.Helper()
+		n := 0
+		for _, err := range eng.StreamConjunctive(clauses, graphengine.QueryOptions{Parallelism: workers}) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != wantRows {
+			b.Fatalf("solve at %d workers = %d rows, want %d", workers, n, wantRows)
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			solve(b, workers) // warm the plan cache and pin correctness
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solve(b, workers)
+			}
+			b.ReportMetric(float64(wantRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+
+	b.Run("plancache=hit", func(b *testing.B) {
+		if _, err := eng.PlanConjunctive(clauses); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.PlanConjunctive(clauses); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plancache=miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphengine.New(g).PlanConjunctive(clauses); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -70,6 +70,20 @@ func (p *Platform) QueryStream(clauses []QueryClause, opts QueryOptions) iter.Se
 	return p.engine.StreamConjunctive(clauses, opts)
 }
 
+// PlanQuery validates a conjunctive query and returns its execution plan
+// without running it — the explain surface behind POST /query. Plans come
+// from the same cache QueryStream uses, so explaining a hot shape is a
+// cache hit.
+func (p *Platform) PlanQuery(clauses []QueryClause) (*QueryPlan, error) {
+	return p.engine.PlanConjunctive(clauses)
+}
+
+// QueryPlanCacheStats snapshots the engine's plan-cache counters
+// (hits, misses, invalidations, evictions, resident size).
+func (p *Platform) QueryPlanCacheStats() QueryPlanCacheStats {
+	return p.engine.PlanCacheStats()
+}
+
 // StreamQuery yields the triples matching a pattern — the iterator twin
 // of Engine.Query. The yield runs under the graph's read locks; the body
 // must not mutate the graph (see Engine.Stream).

@@ -110,6 +110,13 @@ type (
 	// QueryCursor is a binding's identity tuple, the resume position of
 	// a paginated conjunctive query.
 	QueryCursor = []kg.ValueKey
+	// QueryPlan is an immutable conjunctive-query execution plan:
+	// clause order, access paths, and build-time cardinality estimates.
+	QueryPlan = graphengine.Plan
+	// QueryPlanStep is the serializable description of one plan step.
+	QueryPlanStep = graphengine.StepInfo
+	// QueryPlanCacheStats snapshots the plan cache's counters.
+	QueryPlanCacheStats = graphengine.PlanCacheStats
 )
 
 // Conjunctive-query term constructors and cursor helpers.

@@ -47,14 +47,19 @@ go test -bench "$BENCH_FILTER" -benchmem -benchtime "$BENCHTIME" -count "$BENCH_
 # Convert `go test -bench` output lines into a JSON array. A benchmark
 # line looks like:
 #   BenchmarkName/sub-8  1234  567 ns/op  89 B/op  1 allocs/op  [extra metrics]
-awk -v date="$DATE" '
+NUMCPU="$(nproc 2>/dev/null || echo 0)"
+
+awk -v date="$DATE" -v numcpu="$NUMCPU" '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1; iters = $2
-    # go test appends -GOMAXPROCS to benchmark names ("BenchmarkFoo-8");
-    # strip it so snapshots from machines with different core counts
-    # still key on the same names (else the --check gate compares
+    # go test appends -GOMAXPROCS to benchmark names ("BenchmarkFoo-8").
+    # Record it (parallel benchmarks like E17 are meaningless without
+    # it), then strip it so snapshots from machines with different core
+    # counts still key on the same names (else the --check gate compares
     # nothing and passes vacuously).
+    gomaxprocs = 0
+    if (match(name, /-[0-9]+$/)) gomaxprocs = substr(name, RSTART + 1)
     sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""; extra = ""
     for (i = 3; i < NF; i++) {
@@ -69,6 +74,8 @@ BEGIN { print "["; first = 1 }
     if (ns == "") next
     if (!first) printf(",\n"); first = 0
     printf("  {\"date\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", date, name, iters, ns)
+    if (gomaxprocs + 0 > 0) printf(", \"gomaxprocs\": %s", gomaxprocs)
+    if (numcpu + 0 > 0)     printf(", \"numcpu\": %s", numcpu)
     if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
     if (extra != "")  printf(", \"metrics\": {%s}", extra)
