@@ -2,7 +2,8 @@
 // serving layer) over a synthetic world: it generates a KG, trains
 // embeddings, builds the annotation service and a web-search index, and
 // serves /health, /entity, /annotate, /rank, /verify, /related, /search,
-// and the conjunctive-query endpoint POST /query.
+// the conjunctive-query endpoint POST /query, and the live-subscription
+// endpoint POST /subscribe.
 //
 // /query streams: the body is {"clauses": [...], "limit": N,
 // "cursor": "..."} (limit defaults to 1000 and is capped; bodies over
@@ -26,12 +27,23 @@
 // workers over the first clause's candidates. Responses, pages, and
 // cursors are byte-identical at any worker count; the flag only trades
 // CPU for latency on large solves. /health reports the plan cache's
-// hit/miss/invalidation/eviction counters under "plan_cache".
+// hit/miss/invalidation/eviction counters under "plan_cache" and the
+// changefeed's watermark, durable LSN, checkpoint retention, and
+// subscriber health under "changefeed".
+//
+// POST /subscribe streams a standing query's answer set as NDJSON: a
+// full snapshot first, then coalesced add/retract deltas as the graph
+// mutates (see internal/server's subscribe.go). Subscription streams
+// outlive the server's WriteTimeout — the handler sets a per-write
+// deadline on each event instead.
 //
 // With -data-dir the graph is durable: a fresh directory is seeded from
 // the generated world (checkpointed on startup), an existing one is
 // recovered — checkpoint load plus write-ahead-log replay — and served
-// in place of a fresh generation. SIGINT/SIGTERM drain in-flight
+// in place of a fresh generation. Durable platforms additionally serve
+// point-in-time reads: "as_of": <watermark> in a /query body evaluates
+// against the graph as of that mutation watermark, reconstructed from
+// retained checkpoints plus the log. SIGINT/SIGTERM drain in-flight
 // requests, then flush and close the log.
 //
 // Usage:

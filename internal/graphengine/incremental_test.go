@@ -155,7 +155,11 @@ func TestApplyAdjacencyDeltaDirect(t *testing.T) {
 		} else if err := g.Assert(kg.Triple{Subject: s, Predicate: pred, Object: kg.EntityValue(o)}); err != nil {
 			t.Fatal(err)
 		}
-		next := applyAdjacencyDelta(prev, g.MutationsSince(prev.Seq()))
+		muts, complete := g.Feed(prev.Seq()).Pull()
+		if !complete {
+			t.Fatalf("step %d: feed incomplete", step)
+		}
+		next := applyAdjacencyDelta(prev, muts)
 		want := buildAdjacencySnapshot(g)
 		snapshotsEqual(t, step, next, want)
 		if len(next.mult) != len(want.mult) {

@@ -159,12 +159,13 @@ func advanceAdjacencySnapshot(g *kg.Graph, prev *AdjacencySnapshot) *AdjacencySn
 	if prev == nil {
 		return buildAdjacencySnapshot(g)
 	}
-	muts := g.MutationsSince(prev.seq)
-	// The floor is re-checked AFTER the pull (it is raised before entries
-	// drop, see kg.Graph.LogFloor): if log compaction has discarded any
-	// entry in (prev.seq, now], the delta feed is incomplete and only a
-	// full rebuild is sound.
-	if g.LogFloor() > prev.seq {
+	// Snapshots are immutable, so the feed is transient: positioned at the
+	// previous snapshot's watermark, pulled once. An incomplete pull means
+	// log compaction has discarded entries in (prev.seq, now] — the
+	// changefeed's rematerialization fallback, which here is a full
+	// rebuild.
+	muts, complete := g.Feed(prev.seq).Pull()
+	if !complete {
 		return buildAdjacencySnapshot(g)
 	}
 	relevant := 0

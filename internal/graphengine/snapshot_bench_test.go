@@ -62,7 +62,8 @@ func BenchmarkSnapshotDelta(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("delta=%d%%/incremental", deltaPct), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				next := applyAdjacencyDelta(prev, g.MutationsSince(prev.Seq()))
+				muts, _ := g.Feed(prev.Seq()).Pull()
+				next := applyAdjacencyDelta(prev, muts)
 				if next.Seq() != g.LastSeq() {
 					b.Fatal("stale delta apply")
 				}

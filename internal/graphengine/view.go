@@ -106,6 +106,7 @@ type Engine struct {
 
 	mu    sync.Mutex
 	views map[string]*View
+	hub   *subHub // lazily created live-subscription dispatcher
 
 	snap  snapshotCache
 	plans *planCache
@@ -218,15 +219,17 @@ func (v *View) match(t kg.Triple) bool {
 func (v *View) Refresh() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	muts := v.g.MutationsSince(v.seq)
-	// Floor re-checked after the pull (raised before entries drop): a
-	// truncation past v.seq means muts is missing its head.
-	if v.g.LogFloor() > v.seq {
+	feed := v.g.Feed(v.seq)
+	muts, complete := feed.Pull()
+	if !complete {
+		// Compaction passed the view's watermark: the incremental feed is
+		// missing its head, so rebuild from a fresh cut (the changefeed's
+		// rematerialization fallback).
 		return v.rematerializeLocked()
 	}
+	v.seq = feed.Cursor()
 	applied := 0
 	for _, m := range muts {
-		v.seq = m.Seq
 		switch m.Op {
 		case kg.OpAssert:
 			v.predFreq[m.T.Predicate]++

@@ -198,11 +198,15 @@ func (sh *graphShard) init() {
 // The in-memory log can be compacted: TruncateLog drops entries at or
 // below a sequence number once a durable copy exists elsewhere (a WAL
 // segment, a checkpoint), and LogFloor reports the highest dropped
-// sequence. MutationsSince(seq) is complete only when seq >= LogFloor();
-// consumers maintaining derived state must check LogFloor after pulling
-// and fall back to a full rebuild when the floor has passed their
-// watermark (the graphengine adjacency snapshot and materialized views do
-// exactly this).
+// sequence. MutationsSince(seq) is complete only when seq >= LogFloor().
+//
+// Consumers do not call MutationsSince directly: the Changefeed (see
+// changefeed.go) packages the pull-then-recheck-floor protocol — pull a
+// batch, verify LogFloor has not passed the cursor, advance — as a
+// cursor-bearing handle with explicit floor/lag semantics and a single
+// rematerialization fallback contract. The graphengine adjacency
+// snapshot, materialized views, ondevice static assets, the WAL drain,
+// and live subscriptions all consume the log through it.
 //
 // # Durability
 //
@@ -230,6 +234,14 @@ type Graph struct {
 	predByName map[string]PredicateID
 	entLen     atomic.Int64
 	predLen    atomic.Int64
+
+	// dirtyEnts collects entity IDs whose records were updated in place
+	// (SetPopularity / UpdateEntity) since the last TakeDirtyEntities
+	// drain. Record updates do not flow through the mutation log — they
+	// carry no sequence number — so the WAL drains this set instead to
+	// make them durable between checkpoints. Guarded by dictMu; allocated
+	// lazily on first update.
+	dirtyEnts map[EntityID]struct{}
 
 	// seq is the global mutation watermark; advanced only under a shard
 	// write lock.
@@ -459,7 +471,60 @@ func (g *Graph) SetPopularity(id EntityID, pop float64) {
 		cp := *g.entities[id]
 		cp.Popularity = pop
 		g.entities[id] = &cp
+		g.markEntityDirtyLocked(id)
 	}
+}
+
+// markEntityDirtyLocked records that id's dictionary record changed in
+// place. Callers must hold dictMu.
+func (g *Graph) markEntityDirtyLocked(id EntityID) {
+	if g.dirtyEnts == nil {
+		g.dirtyEnts = make(map[EntityID]struct{})
+	}
+	g.dirtyEnts[id] = struct{}{}
+}
+
+// TakeDirtyEntities drains and returns the IDs of entities whose
+// records were updated in place (SetPopularity / UpdateEntity) since
+// the previous drain, sorted ascending. The WAL commit path calls this
+// to persist record updates as log records; anyone else draining it
+// would steal the WAL's durability signal, so there is at most one
+// consumer per graph.
+func (g *Graph) TakeDirtyEntities() []EntityID {
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
+	if len(g.dirtyEnts) == 0 {
+		return nil
+	}
+	out := make([]EntityID, 0, len(g.dirtyEnts))
+	for id := range g.dirtyEnts {
+		out = append(out, id)
+	}
+	clear(g.dirtyEnts)
+	slices.Sort(out)
+	return out
+}
+
+// ReplaceEntity overwrites the stored record for e.ID with e (copy-on-
+// write, like SetPopularity). It exists for WAL replay of record-update
+// log records — AddEntity deliberately refuses to modify an existing
+// key — and therefore does NOT mark the entity dirty: replaying a
+// durable update must not re-enqueue it for the next commit. The ID
+// must already be registered and the Key must match the registered one
+// (identity is immutable).
+func (g *Graph) ReplaceEntity(e Entity) error {
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
+	if int(e.ID) <= 0 || int(e.ID) >= len(g.entities) || g.entities[e.ID] == nil {
+		return fmt.Errorf("kg: ReplaceEntity: unknown entity ID %d", e.ID)
+	}
+	if g.entities[e.ID].Key != e.Key {
+		return fmt.Errorf("kg: ReplaceEntity: key %q does not match registered key %q for ID %d",
+			e.Key, g.entities[e.ID].Key, e.ID)
+	}
+	stored := e
+	g.entities[e.ID] = &stored
+	return nil
 }
 
 // UpdateEntity applies fn to a private copy of the entity record (with
@@ -482,6 +547,7 @@ func (g *Graph) UpdateEntity(id EntityID, fn func(*Entity)) bool {
 	cp.ID = id
 	cp.Key = g.entities[id].Key
 	g.entities[id] = &cp
+	g.markEntityDirtyLocked(id)
 	return true
 }
 

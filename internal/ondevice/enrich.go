@@ -36,12 +36,14 @@ type AssetEntry struct {
 // StaticAsset is the on-device popular-entity artifact.
 type StaticAsset struct {
 	Entries map[string]AssetEntry // by entity key
-	// SourceSeq is the graph mutation sequence the asset was built at;
-	// used by Refresh to apply only new changes.
+	// SourceSeq is the graph mutation sequence the asset was built at —
+	// the changefeed cursor's position, exported so sync tooling can
+	// compare asset versions across devices.
 	SourceSeq uint64
 	size      int
 	view      *graphengine.View
 	graph     *kg.Graph
+	feed      *kg.Changefeed
 	topK      int
 }
 
@@ -54,16 +56,17 @@ func BuildStaticAsset(g *kg.Graph, topK int) (*StaticAsset, error) {
 	}
 	eng := graphengine.New(g)
 	view := eng.Materialize(graphengine.ViewDef{Name: "static-asset"})
-	a := &StaticAsset{graph: g, view: view, topK: topK}
+	a := &StaticAsset{graph: g, view: view, feed: g.Feed(0), topK: topK}
 	a.rebuild()
 	return a, nil
 }
 
 func (a *StaticAsset) rebuild() {
-	// Record the watermark BEFORE scanning: a mutation that lands mid-scan
-	// may or may not be reflected in the entries, so the conservative
-	// stamp makes the next Refresh re-apply it rather than silently skip
-	// it (stamping after the scan could mark unseen mutations as done).
+	// Reset the feed to the watermark BEFORE scanning: a mutation that
+	// lands mid-scan may or may not be reflected in the entries, so the
+	// conservative cursor makes the next Refresh re-pull it rather than
+	// silently skip it (resetting after the scan could mark unseen
+	// mutations as consumed).
 	seq := a.graph.LastSeq()
 	var all []*kg.Entity
 	a.graph.Entities(func(e *kg.Entity) bool {
@@ -95,6 +98,7 @@ func (a *StaticAsset) rebuild() {
 		entries[e.Key] = entry
 	}
 	a.Entries = entries
+	a.feed.Reset(seq)
 	a.SourceSeq = seq
 	a.size = len(entries)
 }
@@ -103,9 +107,17 @@ func (a *StaticAsset) rebuild() {
 // ("as the set of popular entities changes over time, the view is
 // automatically maintained and can be shipped to devices"). Returns the
 // number of view mutations applied.
+//
+// Staleness is decided by the asset's changefeed: a non-empty (or
+// incomplete, when compaction passed the cursor) pull means the graph
+// moved past the asset's watermark and the entries are recomputed. The
+// pulled batch itself is not replayed — rebuild re-ranks from the live
+// dictionary anyway, which also picks up popularity changes that carry
+// no mutation sequence.
 func (a *StaticAsset) Refresh() int {
 	applied := a.view.Refresh()
-	if applied > 0 || a.graph.LastSeq() != a.SourceSeq {
+	muts, complete := a.feed.Pull()
+	if applied > 0 || len(muts) > 0 || !complete {
 		a.rebuild()
 	}
 	return applied

@@ -26,6 +26,12 @@ import (
 //
 //	{"bindings": [...], "count": 100, "limit": 100, "next_cursor": "..."}
 //
+// Setting "as_of": <watermark> evaluates the query against the graph as
+// it was at that mutation watermark, reconstructed from the durable
+// checkpoint retention — results match what the query returned live at
+// that watermark, byte for byte. Watermarks behind the retention window
+// return 410 Gone; memory-only platforms return 400.
+//
 // Setting "explain": true returns the execution plan instead of any
 // bindings — one entry per clause in execution order with its access
 // path ("posting", "facts", "has_fact", "scan") and estimated
@@ -86,6 +92,13 @@ type queryRequest struct {
 	Limit   *int              `json:"limit"`
 	Cursor  string            `json:"cursor"`
 	Explain bool              `json:"explain"`
+	// AsOf runs the query against the graph as it was at this mutation
+	// watermark, reconstructed from the durable checkpoint retention
+	// (saga.Platform.QueryStreamAt). Results are identical to what the
+	// same query returned live at that watermark. Requires a durable
+	// platform; watermarks older than the retention window return 410.
+	// Explain ignores as_of (plans describe the live graph).
+	AsOf *uint64 `json:"as_of"`
 }
 
 func (s *Server) parseTerm(t queryTermJSON) (saga.QueryTerm, error) {
@@ -168,24 +181,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cursor = c
 	}
 	g := s.Platform.Graph()
-	clauses := make([]saga.QueryClause, 0, len(req.Clauses))
-	for i, cj := range req.Clauses {
-		pred, ok := g.PredicateByName(cj.Predicate)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("clause %d: unknown predicate %q", i, cj.Predicate))
-			return
-		}
-		subj, err := s.parseTerm(cj.Subject)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("clause %d subject: %w", i, err))
-			return
-		}
-		obj, err := s.parseTerm(cj.Object)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("clause %d object: %w", i, err))
-			return
-		}
-		clauses = append(clauses, saga.QueryClause{Subject: subj, Predicate: pred.ID, Object: obj})
+	clauses, status, err := s.parseClauses(req.Clauses)
+	if err != nil {
+		writeError(w, status, err)
+		return
 	}
 
 	// explain:true returns the execution plan instead of running the
@@ -215,9 +214,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Context:     r.Context(),
 		Parallelism: s.QueryWorkers,
 	}
+	stream := s.Platform.QueryStream(clauses, opts)
+	if req.AsOf != nil {
+		// Point-in-time read: same solve, same options, but over the
+		// as-of overlay instead of the live graph.
+		st, err := s.Platform.QueryStreamAt(clauses, *req.AsOf, opts)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, saga.ErrOutsideRetention) {
+				status = http.StatusGone
+			}
+			writeError(w, status, err)
+			return
+		}
+		stream = st
+	}
 	bindings := make([]saga.QueryBinding, 0, min(limit, 64))
 	more := false
-	for b, err := range s.Platform.QueryStream(clauses, opts) {
+	for b, err := range stream {
 		if err != nil {
 			if isClientGone(err) {
 				// Nothing useful to write.
@@ -235,22 +249,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	out := make([]map[string]any, 0, len(bindings))
 	for _, b := range bindings {
-		rowJSON := make(map[string]any, len(b))
-		for name, v := range b {
-			if v.IsEntity() {
-				e := g.Entity(v.Entity)
-				if e != nil {
-					rowJSON[name] = map[string]string{"key": e.Key, "name": e.Name}
-					continue
-				}
-			}
-			rowJSON[name] = v.String()
-		}
-		out = append(out, rowJSON)
+		out = append(out, renderBinding(g, b))
 	}
 	resp := map[string]any{"bindings": out, "count": len(out), "limit": limit}
 	if more {
 		resp["next_cursor"] = saga.EncodeQueryCursor(saga.QueryBindingKey(bindings[len(bindings)-1]))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseClauses converts the request's clause JSON into engine clauses,
+// returning the HTTP status to use on error. Shared by /query and
+// /subscribe.
+func (s *Server) parseClauses(cjs []queryClauseJSON) ([]saga.QueryClause, int, error) {
+	g := s.Platform.Graph()
+	clauses := make([]saga.QueryClause, 0, len(cjs))
+	for i, cj := range cjs {
+		pred, ok := g.PredicateByName(cj.Predicate)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("clause %d: unknown predicate %q", i, cj.Predicate)
+		}
+		subj, err := s.parseTerm(cj.Subject)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("clause %d subject: %w", i, err)
+		}
+		obj, err := s.parseTerm(cj.Object)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("clause %d object: %w", i, err)
+		}
+		clauses = append(clauses, saga.QueryClause{Subject: subj, Predicate: pred.ID, Object: obj})
+	}
+	return clauses, 0, nil
+}
+
+// renderBinding renders one query answer: entity values become
+// {key, name} objects, literals their string form. Shared by /query
+// and /subscribe.
+func renderBinding(g *saga.Graph, b saga.QueryBinding) map[string]any {
+	rowJSON := make(map[string]any, len(b))
+	for name, v := range b {
+		if v.IsEntity() {
+			if e := g.Entity(v.Entity); e != nil {
+				rowJSON[name] = map[string]string{"key": e.Key, "name": e.Name}
+				continue
+			}
+		}
+		rowJSON[name] = v.String()
+	}
+	return rowJSON
 }

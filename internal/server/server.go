@@ -1,13 +1,16 @@
 // Package server exposes the knowledge platform over HTTP: entity lookup,
 // semantic annotation, fact ranking, fact verification, related entities,
-// web search, and paginated conjunctive queries. It is the serving layer
-// of Fig 1, used by cmd/kgserve.
+// web search, paginated conjunctive queries (with point-in-time "as_of"
+// reads), and live standing-query subscriptions (POST /subscribe,
+// NDJSON). It is the serving layer of Fig 1, used by cmd/kgserve.
 //
 // The potentially-slow handlers are bounded-work by construction:
 // POST /query streams its solve with an enforced page limit and opaque
-// resume cursors (see query.go), and /query, /rank, /related, /search all
-// thread the request context into their compute so a disconnected client
-// aborts the work instead of burning CPU to completion.
+// resume cursors (see query.go), /subscribe coalesces deltas and evicts
+// clients that stop draining (see subscribe.go), and /query, /rank,
+// /related, /search, /subscribe all thread the request context into
+// their compute so a disconnected client aborts the work instead of
+// burning CPU to completion.
 package server
 
 import (
@@ -52,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /related", s.handleRelated)
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /subscribe", s.handleSubscribe)
 	return mux
 }
 
@@ -84,6 +88,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"predicates": g.NumPredicates(),
 		"triples":    g.NumTriples(),
 		"plan_cache": s.Platform.QueryPlanCacheStats(),
+		"changefeed": s.Platform.ChangefeedStats(),
 	})
 }
 

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"saga/saga"
+)
+
+// Live subscription endpoint: POST /subscribe with a /query-style body
+//
+//	{"clauses": [...], "coalesce_ms": 25, "buffer": 16, "max_pending": 4096}
+//
+// streams the standing query's answer set as newline-delimited JSON:
+// first a reset event carrying the full answer set, then one event per
+// coalescing window with the incremental adds and retracts:
+//
+//	{"adds": [...], "retracts": [...], "watermark": 412, "reset": true}
+//	{"adds": [{"p": {"key": "e7", "name": "..."}}], "retracts": [], "watermark": 430}
+//
+// Bindings render exactly as /query bindings. The stream runs until the
+// client disconnects or the subscriber is evicted for not draining fast
+// enough (saga.ErrSlowSubscriber), in which case a final
+// {"error": ...} line is written. Each event write carries its own
+// deadline (subscribeWriteTimeout), which also overrides the server's
+// global write timeout for this connection — long-lived streams are
+// expected here.
+const (
+	// subscribeWriteTimeout bounds one event write to a slow client.
+	subscribeWriteTimeout = 10 * time.Second
+	// maxSubscribeCoalesceMS caps the requested coalescing window.
+	maxSubscribeCoalesceMS = 10_000
+)
+
+type subscribeRequest struct {
+	Clauses []queryClauseJSON `json:"clauses"`
+	// CoalesceMS is the delta-batching window in milliseconds
+	// (default 10, max 10000).
+	CoalesceMS int `json:"coalesce_ms"`
+	// Buffer is the event channel capacity (default 16).
+	Buffer int `json:"buffer"`
+	// MaxPending is the undelivered-delta bound beyond which the
+	// subscriber is evicted (default 4096).
+	MaxPending int `json:"max_pending"`
+}
+
+// subscribeEventJSON is the NDJSON shape of one subscription event.
+type subscribeEventJSON struct {
+	Adds      []map[string]any `json:"adds"`
+	Retracts  []map[string]any `json:"retracts"`
+	Watermark uint64           `json:"watermark"`
+	Reset     bool             `json:"reset,omitempty"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBodyBytes)
+	var req subscribeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Clauses) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no clauses"))
+		return
+	}
+	if len(req.Clauses) > maxQueryClauses {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d clauses exceeds the maximum of %d", len(req.Clauses), maxQueryClauses))
+		return
+	}
+	if req.CoalesceMS < 0 || req.CoalesceMS > maxSubscribeCoalesceMS {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad coalesce_ms %d", req.CoalesceMS))
+		return
+	}
+	clauses, status, err := s.parseClauses(req.Clauses)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	sub, err := s.Platform.Subscribe(clauses, saga.SubscribeOptions{
+		Buffer:     req.Buffer,
+		Coalesce:   time.Duration(req.CoalesceMS) * time.Millisecond,
+		MaxPending: req.MaxPending,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	g := s.Platform.Graph()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Evicted by the hub: tell the client why before closing.
+				if err := sub.Err(); err != nil {
+					_ = rc.SetWriteDeadline(time.Now().Add(subscribeWriteTimeout))
+					_ = enc.Encode(map[string]string{"error": err.Error()})
+					_ = rc.Flush()
+				}
+				return
+			}
+			line := subscribeEventJSON{
+				Adds:      make([]map[string]any, 0, len(ev.Adds)),
+				Retracts:  make([]map[string]any, 0, len(ev.Retracts)),
+				Watermark: ev.Watermark,
+				Reset:     ev.Reset,
+			}
+			for _, b := range ev.Adds {
+				line.Adds = append(line.Adds, renderBinding(g, b))
+			}
+			for _, b := range ev.Retracts {
+				line.Retracts = append(line.Retracts, renderBinding(g, b))
+			}
+			if err := rc.SetWriteDeadline(time.Now().Add(subscribeWriteTimeout)); err != nil {
+				return
+			}
+			if err := enc.Encode(line); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

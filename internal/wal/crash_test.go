@@ -23,7 +23,11 @@ import (
 //  3. the recovered state equals a from-scratch replay of the first W
 //     mutations of the writer's history (watermark consistency: a prefix,
 //     exactly);
-//  4. the recovered incarnation can keep writing, checkpoint, close, and
+//  4. recovered entity records honor acknowledged in-place updates: the
+//     script's popularity updates are monotone per entity, so every
+//     recovered record must sit between the value at the last
+//     acknowledged commit and the final value the writer applied;
+//  5. the recovered incarnation can keep writing, checkpoint, close, and
 //     reopen cleanly (the repaired log stays contiguous).
 //
 // Seeds come from WAL_CRASH_SEEDS (comma-separated) so scripts/crashtest.sh
@@ -60,7 +64,7 @@ const scenarioSteps = 400
 // completes or the first injected failure, returning the writer graph
 // (with its full mutation history) and the fsync-acknowledged watermark
 // at the moment of death.
-func runScenario(t *testing.T, seed int64, fs *FaultFS) (g *kg.Graph, acked, applied uint64) {
+func runScenario(t *testing.T, seed int64, fs *FaultFS) (g *kg.Graph, acked, applied uint64, ackedPops, finalPops map[kg.EntityID]float64) {
 	t.Helper()
 	g = kg.NewGraphWithShards(4)
 	m, _, err := Open(testDir, g, Options{FS: fs, Sync: SyncEachCommit, KeepGraphLog: true})
@@ -68,18 +72,24 @@ func runScenario(t *testing.T, seed int64, fs *FaultFS) (g *kg.Graph, acked, app
 		if !errors.Is(err, ErrInjected) {
 			t.Fatalf("Open failed with a non-injected error: %v", err)
 		}
-		return g, 0, g.LastSeq()
+		return g, 0, g.LastSeq(), nil, nil
 	}
 	s := newScripted(t, g, seed)
 	broken := false
 	for i := 0; i < scenarioSteps; i++ {
 		s.step()
 		var err error
+		synced := false
 		switch {
 		case i%90 == 89:
 			_, err = m.Checkpoint()
+			synced = err == nil
 		case i%7 == 6:
 			_, err = m.Commit()
+			synced = err == nil
+		}
+		if synced {
+			ackedPops = s.snapshotPops()
 		}
 		if err != nil {
 			if !errors.Is(err, ErrInjected) {
@@ -90,16 +100,19 @@ func runScenario(t *testing.T, seed int64, fs *FaultFS) (g *kg.Graph, acked, app
 		}
 	}
 	if !broken {
-		if err := m.Close(); err != nil && !errors.Is(err, ErrInjected) {
+		switch err := m.Close(); {
+		case err == nil:
+			ackedPops = s.snapshotPops()
+		case !errors.Is(err, ErrInjected):
 			t.Fatalf("Close failed with a non-injected error: %v", err)
 		}
 	}
-	return g, m.DurableLSN(), g.LastSeq()
+	return g, m.DurableLSN(), g.LastSeq(), ackedPops, s.snapshotPops()
 }
 
 // checkRecovery reopens the crashed image and enforces the matrix
 // invariants, then runs the continuation leg.
-func checkRecovery(t *testing.T, label string, writer *kg.Graph, acked, applied uint64, crashed *FaultFS) {
+func checkRecovery(t *testing.T, label string, writer *kg.Graph, acked, applied uint64, ackedPops, finalPops map[kg.EntityID]float64, crashed *FaultFS) {
 	t.Helper()
 	g2 := kg.NewGraphWithShards(4)
 	m2, info, err := Open(testDir, g2, Options{FS: crashed, Sync: SyncEachCommit, KeepGraphLog: true})
@@ -118,6 +131,24 @@ func checkRecovery(t *testing.T, label string, writer *kg.Graph, acked, applied 
 		t.Fatalf("%s: recovered LSN %d beyond anything applied (%d)", label, wm, applied)
 	}
 	sameTriples(t, replayPrefix(t, writer, wm), g2)
+
+	// Entity-record durability: popularity updates are monotone in the
+	// script, so a recovered record must never run ahead of what the
+	// writer applied, nor behind what a successful commit acknowledged.
+	for id, final := range finalPops {
+		e := g2.Entity(id)
+		if e == nil {
+			continue // the record never reached the durable log
+		}
+		if e.Popularity > final {
+			t.Fatalf("%s: entity %d recovered popularity %v beyond anything written (%v)",
+				label, id, e.Popularity, final)
+		}
+		if floor, ok := ackedPops[id]; ok && e.Popularity < floor {
+			t.Fatalf("%s: entity %d recovered popularity %v lost acknowledged update (floor %v)",
+				label, id, e.Popularity, floor)
+		}
+	}
 
 	// Continuation leg: the recovered incarnation must be fully writable
 	// and its own shutdown/reopen must round-trip.
@@ -177,8 +208,9 @@ func TestCrashMatrixWriteKills(t *testing.T) {
 			for off := int64(0); off <= total; off += stride {
 				fs := NewFaultFS(seed)
 				fs.SetWriteBudget(off)
-				writer, acked, applied := runScenario(t, seed, fs)
-				checkRecovery(t, fmt.Sprintf("seed=%d kill@%d/%d", seed, off, total), writer, acked, applied, fs.Crash())
+				writer, acked, applied, ackedPops, finalPops := runScenario(t, seed, fs)
+				checkRecovery(t, fmt.Sprintf("seed=%d kill@%d/%d", seed, off, total),
+					writer, acked, applied, ackedPops, finalPops, fs.Crash())
 			}
 		})
 	}
@@ -195,8 +227,9 @@ func TestCrashMatrixSyncFailures(t *testing.T) {
 			for n := 0; n < maxSyncs; n++ {
 				fs := NewFaultFS(seed)
 				fs.SetSyncBudget(n)
-				writer, acked, applied := runScenario(t, seed, fs)
-				checkRecovery(t, fmt.Sprintf("seed=%d sync-fail@%d", seed, n), writer, acked, applied, fs.Crash())
+				writer, acked, applied, ackedPops, finalPops := runScenario(t, seed, fs)
+				checkRecovery(t, fmt.Sprintf("seed=%d sync-fail@%d", seed, n),
+					writer, acked, applied, ackedPops, finalPops, fs.Crash())
 			}
 		})
 	}

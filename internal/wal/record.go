@@ -44,6 +44,11 @@ const (
 	recTriple           = 7 // one checkpointed triple (no LSN)
 	recCheckpointFooter = 8 // watermark + triple count; validity marker
 	recTripleBlock      = 9 // many checkpointed triples in one CRC frame
+	// recEntityUpdate is an in-place entity record update (SetPopularity/
+	// UpdateEntity): same payload as recEntity, but replay overwrites the
+	// existing record (ReplaceEntity) where recEntity verifies-or-
+	// registers and never modifies an existing ID.
+	recEntityUpdate = 10
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -255,6 +260,19 @@ func decEntity(p []byte) (kg.Entity, error) {
 		}
 	}
 	return e, d.done("entity")
+}
+
+// encEntityUpdate frames an entity record update: the recEntity payload
+// under the recEntityUpdate type byte.
+func encEntityUpdate(dst []byte, e *kg.Entity) []byte {
+	start := len(dst)
+	dst = encEntity(dst, e)
+	dst[start] = recEntityUpdate
+	return dst
+}
+
+func decEntityUpdate(p []byte) (kg.Entity, error) {
+	return decEntity(p)
 }
 
 func encPredicate(dst []byte, p *kg.Predicate) []byte {

@@ -36,9 +36,28 @@
 // mutation at or below the given watermark is on disk regardless of
 // policy.
 //
-// Entity popularity updates (SetPopularity/UpdateEntity) are not
-// mutations and are durable only as of the last checkpoint; dictionary
-// registrations are durable as of the Commit that first shipped them.
+// Entity record updates (SetPopularity/UpdateEntity) carry no LSN but
+// are drained from the graph's dirty-entity set on every Commit and
+// logged as record-update entries, so like dictionary registrations
+// they are durable as of the first Commit after the update (and always
+// as of a checkpoint). Replay applies them in written order, so
+// last-write-wins reproduces the crash-time record state.
+//
+// # As-of reads and retention
+//
+// The manager is also the platform's time-travel substrate. With
+// Options.RetainCheckpoints = N > 1, a checkpoint no longer deletes all
+// superseded files: the newest N checkpoints survive, along with every
+// log segment needed to replay forward from the oldest retained one.
+// SnapshotAt(asOf) picks the newest retained checkpoint at or below
+// asOf, loads it into a fresh immutable base graph (cached — bases are
+// shared across reads), and collects the mutation suffix
+// (checkpoint, asOf] from the retained segments. The pair feeds a
+// graphengine read overlay that answers queries pinned at watermark
+// asOf without touching live state. Watermarks below the oldest
+// retained checkpoint are gone — SnapshotAt reports them as outside
+// retention. The graph's in-memory mutation log is still truncated at
+// the newest checkpoint (as-of reads replay from disk, not memory).
 package wal
 
 import (
@@ -82,9 +101,17 @@ type Options struct {
 	CheckpointEvery uint64
 	// KeepGraphLog disables the TruncateLog call after a checkpoint,
 	// preserving the graph's full in-memory mutation log. Consumers that
-	// want MutationsSince(0) to stay complete (tests, shadow replicas)
-	// set this; servers leave it off so the log stays bounded.
+	// want a Feed(0) pull to stay complete (tests, shadow replicas) set
+	// this; servers leave it off so the log stays bounded.
 	KeepGraphLog bool
+	// RetainCheckpoints keeps the newest N checkpoints on disk (plus the
+	// log segments needed to replay between them and the live tail)
+	// instead of eagerly deleting everything a new checkpoint
+	// supersedes. Retained history is what SnapshotAt serves as-of reads
+	// from: any watermark at or above the oldest retained checkpoint
+	// stays readable. 0 and 1 both mean "newest only" — the eager
+	// behavior.
+	RetainCheckpoints int
 }
 
 func (o Options) fs() FS {
@@ -155,8 +182,23 @@ type Manager struct {
 	seg     File
 	segPath string
 	gen     uint64
-	applied uint64 // highest LSN written (not necessarily synced) to the log
+	// feed is the manager's changefeed over the graph's mutation log; its
+	// cursor is the highest LSN written (not necessarily synced) to the
+	// log. An incomplete pull latches the manager: only checkpointLocked
+	// truncates the graph log, after resetting the feed, so the floor
+	// passing the cursor means an external TruncateLog silently dropped
+	// unlogged mutations.
+	feed    *kg.Changefeed
 	ckptLSN uint64 // watermark of the newest durable checkpoint
+	// ckpts tracks the watermarks of the checkpoints currently on disk,
+	// ascending; segFirst maps each on-disk segment generation to its
+	// header firstLSN (the last LSN before the segment's first record).
+	// Both drive retention deletion and as-of suffix collection.
+	ckpts    []uint64
+	segFirst map[uint64]uint64
+	// asofBases caches checkpoint base graphs loaded for SnapshotAt,
+	// keyed by checkpoint watermark. Bases are immutable once loaded.
+	asofBases map[uint64]*kg.Graph
 	// dictionary cursors: highest entity/predicate/ontology-type ID
 	// already shipped to the log.
 	entCur, predCur, ontCur int
@@ -187,18 +229,34 @@ func Open(dir string, g *kg.Graph, opts Options) (*Manager, *RecoveryInfo, error
 		return nil, info, err
 	}
 	m := &Manager{
-		fs:      fs,
-		dir:     dir,
-		g:       g,
-		opts:    opts,
-		gen:     maxGen, // openSegment bumps to maxGen+1
-		applied: g.LastSeq(),
-		ckptLSN: info.CheckpointLSN,
-		entCur:  g.NumEntities(),
-		predCur: g.NumPredicates(),
-		ontCur:  g.Ontology().Len(),
+		fs:       fs,
+		dir:      dir,
+		g:        g,
+		opts:     opts,
+		gen:      maxGen, // openSegment bumps to maxGen+1
+		feed:     g.Feed(g.LastSeq()),
+		ckptLSN:  info.CheckpointLSN,
+		segFirst: make(map[uint64]uint64),
+		entCur:   g.NumEntities(),
+		predCur:  g.NumPredicates(),
+		ontCur:   g.Ontology().Len(),
 	}
 	m.durable.Store(g.LastSeq())
+	// Index the surviving files: retention deletion and as-of suffix
+	// collection need each checkpoint's watermark and each segment's
+	// firstLSN without re-reading the directory per decision.
+	if names, derr := fs.ReadDir(dir); derr == nil {
+		for _, n := range names {
+			if w, ok := parseName(n, ckptPrefix, ckptSuffix); ok {
+				m.ckpts = append(m.ckpts, w)
+			} else if gen, ok := parseName(n, segPrefix, segSuffix); ok {
+				if first, herr := readSegFirstLSN(fs, filepath.Join(dir, n)); herr == nil {
+					m.segFirst[gen] = first
+				}
+			}
+		}
+		sort.Slice(m.ckpts, func(i, j int) bool { return m.ckpts[i] < m.ckpts[j] })
+	}
 	if err := m.openSegmentLocked(); err != nil {
 		return nil, info, err
 	}
@@ -224,7 +282,8 @@ func (m *Manager) openSegmentLocked() error {
 	if err != nil {
 		return m.latch(fmt.Errorf("wal: create segment %s: %w", name, err))
 	}
-	hdr := appendFrame(nil, encSegHeader(nil, segHeader{version: walVersion, gen: m.gen, firstLSN: m.applied}))
+	first := m.feed.Cursor()
+	hdr := appendFrame(nil, encSegHeader(nil, segHeader{version: walVersion, gen: m.gen, firstLSN: first}))
 	if _, err := f.Write(hdr); err != nil {
 		return m.latch(fmt.Errorf("wal: write segment header: %w", err))
 	}
@@ -235,6 +294,7 @@ func (m *Manager) openSegmentLocked() error {
 		return m.latch(fmt.Errorf("wal: sync dir after segment create: %w", err))
 	}
 	m.seg, m.segPath = f, path
+	m.segFirst[m.gen] = first
 	return nil
 }
 
@@ -260,41 +320,56 @@ func (m *Manager) Commit() (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkLocked(); err != nil {
-		return m.applied, err
+		return m.feed.Cursor(), err
 	}
 	if err := m.commitLocked(); err != nil {
-		return m.applied, err
+		return m.feed.Cursor(), err
 	}
 	if m.opts.Sync == SyncEachCommit {
 		if err := m.syncLocked(); err != nil {
-			return m.applied, err
+			return m.feed.Cursor(), err
 		}
 	}
-	if m.opts.CheckpointEvery > 0 && m.applied-m.ckptLSN >= m.opts.CheckpointEvery {
+	if m.opts.CheckpointEvery > 0 && m.feed.Cursor()-m.ckptLSN >= m.opts.CheckpointEvery {
 		if err := m.checkpointLocked(); err != nil {
-			return m.applied, err
+			return m.feed.Cursor(), err
 		}
 	}
-	return m.applied, nil
+	return m.feed.Cursor(), nil
 }
 
-// commitLocked writes dictionary deltas and pending mutations to the
-// segment. Mutations are pulled FIRST, dictionary deltas read after: a
-// mutation passes graph validation only after its entities/predicates
-// are registered (the dictionary lengths are published before the
-// mutation is applied), so dictionary counts read after the pull are
-// guaranteed to cover every ID any pulled mutation references. The
-// records are then written dictionary-first so replay registers before
-// it asserts.
+// commitLocked writes dictionary deltas, entity record updates, and
+// pending mutations to the segment. Mutations are pulled FIRST,
+// dictionary deltas read after: a mutation passes graph validation only
+// after its entities/predicates are registered (the dictionary lengths
+// are published before the mutation is applied), so dictionary counts
+// read after the pull are guaranteed to cover every ID any pulled
+// mutation references. The records are then written dictionary-first so
+// replay registers before it asserts.
+//
+// The feed's cursor advances with the pull; a write failure afterwards
+// latches the manager, so the cursor never silently skips records that
+// were not persisted.
 func (m *Manager) commitLocked() error {
-	muts := m.g.MutationsSince(m.applied)
-	if m.g.LogFloor() > m.applied {
+	muts, complete := m.feed.Pull()
+	if !complete {
 		// Cannot happen through this manager (only checkpointLocked
-		// truncates, after advancing applied); an external TruncateLog
+		// truncates, after resetting the feed); an external TruncateLog
 		// call would silently lose mutations, so fail loudly.
-		return m.latch(fmt.Errorf("wal: graph log truncated past applied LSN %d (floor %d)", m.applied, m.g.LogFloor()))
+		return m.latch(fmt.Errorf("wal: graph log truncated past applied LSN %d (floor %d)", m.feed.Cursor(), m.g.LogFloor()))
 	}
 	buf := m.encodeDictDeltasLocked(nil)
+	// Record updates for already-shipped entities ride every commit;
+	// entities at or past the (just-advanced) cursor were shipped above
+	// with their current record, so an update entry would be redundant.
+	for _, id := range m.g.TakeDirtyEntities() {
+		if int(id) > m.entCur {
+			continue
+		}
+		if e := m.g.Entity(id); e != nil {
+			buf = appendFrame(buf, encEntityUpdate(nil, e))
+		}
+	}
 	for _, mu := range muts {
 		buf = appendFrame(buf, encMutation(nil, mu))
 	}
@@ -303,9 +378,6 @@ func (m *Manager) commitLocked() error {
 	}
 	if _, err := m.seg.Write(buf); err != nil {
 		return m.latch(fmt.Errorf("wal: append: %w", err))
-	}
-	if len(muts) > 0 {
-		m.applied = muts[len(muts)-1].Seq
 	}
 	return nil
 }
@@ -333,8 +405,8 @@ func (m *Manager) syncLocked() error {
 	if err := m.seg.Sync(); err != nil {
 		return m.latch(fmt.Errorf("wal: fsync: %w", err))
 	}
-	if d := m.durable.Load(); m.applied > d {
-		m.durable.Store(m.applied)
+	if d, a := m.durable.Load(), m.feed.Cursor(); a > d {
+		m.durable.Store(a)
 	}
 	return nil
 }
@@ -374,8 +446,8 @@ func (m *Manager) SyncToWatermark(w uint64) error {
 	if err := m.commitLocked(); err != nil {
 		return err
 	}
-	if m.applied < w {
-		return fmt.Errorf("wal: SyncToWatermark(%d) beyond graph watermark %d", w, m.applied)
+	if m.feed.Cursor() < w {
+		return fmt.Errorf("wal: SyncToWatermark(%d) beyond graph watermark %d", w, m.feed.Cursor())
 	}
 	return m.syncLocked()
 }
@@ -385,11 +457,19 @@ func (m *Manager) SyncToWatermark(w uint64) error {
 func (m *Manager) DurableLSN() uint64 { return m.durable.Load() }
 
 // AppliedLSN returns the highest LSN written (not necessarily synced) to
-// the log.
+// the log — the manager's changefeed cursor.
 func (m *Manager) AppliedLSN() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.applied
+	return m.feed.Cursor()
+}
+
+// RetainedCheckpoints returns how many checkpoints are currently on
+// disk (at most Options.RetainCheckpoints after the next checkpoint).
+func (m *Manager) RetainedCheckpoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ckpts)
 }
 
 // CheckpointLSN returns the watermark of the newest durable checkpoint.
@@ -494,8 +574,11 @@ func (m *Manager) checkpointLocked() error {
 	// The checkpoint is durable: it subsumes every mutation <= wm, so
 	// both cursors advance even if the log itself was never fsynced.
 	m.ckptLSN = wm
-	if m.applied < wm {
-		m.applied = wm
+	if len(m.ckpts) == 0 || m.ckpts[len(m.ckpts)-1] != wm {
+		m.ckpts = append(m.ckpts, wm)
+	}
+	if m.feed.Cursor() < wm {
+		m.feed.Reset(wm)
 	}
 	if d := m.durable.Load(); wm > d {
 		m.durable.Store(wm)
@@ -504,8 +587,8 @@ func (m *Manager) checkpointLocked() error {
 	// so the new segment does not re-ship it.
 	m.ontCur, m.entCur, m.predCur = nOnt, nEnt, nPred
 
-	// Rotate: retire the old segment, open a fresh one, then delete
-	// superseded files. Deletion durability is best-effort (a leftover
+	// Rotate: retire the old segment, open a fresh one, then apply the
+	// retention policy. Deletion durability is best-effort (a leftover
 	// old segment or checkpoint is ignored by recovery).
 	if err := m.seg.Sync(); err != nil {
 		return m.latch(fmt.Errorf("wal: sync old segment: %w", err))
@@ -517,21 +600,54 @@ func (m *Manager) checkpointLocked() error {
 	if err := m.openSegmentLocked(); err != nil {
 		return err
 	}
-	names, err := m.fs.ReadDir(m.dir)
-	if err == nil {
-		for _, n := range names {
-			if g, ok := parseName(n, segPrefix, segSuffix); ok && g <= oldGen {
-				_ = m.fs.Remove(filepath.Join(m.dir, n))
-			} else if w, ok := parseName(n, ckptPrefix, ckptSuffix); ok && w < wm {
-				_ = m.fs.Remove(filepath.Join(m.dir, n))
-			}
-		}
-		_ = m.fs.SyncDir(m.dir)
-	}
+	m.applyRetentionLocked(oldGen)
 	if !m.opts.KeepGraphLog {
 		m.g.TruncateLog(wm)
 	}
 	return nil
+}
+
+// applyRetentionLocked deletes checkpoints beyond Options.
+// RetainCheckpoints (newest first) and every retired log segment whose
+// content is entirely at or below the oldest retained checkpoint's
+// watermark. A segment's content spans (firstLSN, next segment's
+// firstLSN], so segment g is dead once its successor's firstLSN is at
+// or below that watermark; firstLSN is non-decreasing across
+// generations, which makes deletability a prefix property. oldGen is
+// the just-retired generation — the active segment is never deleted.
+func (m *Manager) applyRetentionLocked(oldGen uint64) {
+	retain := m.opts.RetainCheckpoints
+	if retain < 1 {
+		retain = 1
+	}
+	if drop := len(m.ckpts) - retain; drop > 0 {
+		for _, w := range m.ckpts[:drop] {
+			_ = m.fs.Remove(filepath.Join(m.dir, ckptName(w)))
+		}
+		m.ckpts = append(m.ckpts[:0], m.ckpts[drop:]...)
+	}
+	if len(m.ckpts) == 0 {
+		return
+	}
+	floor := m.ckpts[0] // oldest retained watermark; history below it is gone
+	for w := range m.asofBases {
+		if w < floor {
+			delete(m.asofBases, w)
+		}
+	}
+	gens := make([]uint64, 0, len(m.segFirst))
+	for g := range m.segFirst {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	for i, g := range gens {
+		if g > oldGen || i+1 >= len(gens) || m.segFirst[gens[i+1]] > floor {
+			break
+		}
+		_ = m.fs.Remove(filepath.Join(m.dir, segName(g)))
+		delete(m.segFirst, g)
+	}
+	_ = m.fs.SyncDir(m.dir)
 }
 
 // Close flushes and fsyncs all pending state and closes the segment.
@@ -911,6 +1027,19 @@ func replaySegment(fs FS, path, name string, gen uint64, g *kg.Graph) (good, tor
 		case recOntType, recEntity, recPredicate:
 			if err := applyDictRecord(g, p); err != nil {
 				return &replayStop{reason: err.Error()}
+			}
+			return nil
+		case recEntityUpdate:
+			// Record updates carry no LSN; written order IS the update
+			// order, so last-write-wins replay reproduces the final
+			// record state (a checkpoint's copy is re-overwritten by the
+			// updates that preceded it, landing on the same value).
+			e, err := decEntityUpdate(p)
+			if err != nil {
+				return &replayStop{reason: err.Error()}
+			}
+			if err := g.ReplaceEntity(e); err != nil {
+				return &replayStop{reason: fmt.Sprintf("replay entity update: %v", err)}
 			}
 			return nil
 		case recMutation:

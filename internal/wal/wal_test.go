@@ -39,11 +39,26 @@ type scripted struct {
 	preds []kg.PredicateID
 	types []kg.TypeID
 	live  []kg.Triple
-	n     int
+	// pop shadows every entity's current popularity. Updates are strictly
+	// monotone per entity, so a crash-recovered record can be bounded:
+	// at least the value at the last acknowledged commit, at most the
+	// final value written.
+	pop map[kg.EntityID]float64
+	n   int
 }
 
 func newScripted(t testing.TB, g *kg.Graph, seed int64) *scripted {
-	return &scripted{t: t, g: g, rng: rand.New(rand.NewSource(seed))}
+	return &scripted{t: t, g: g, rng: rand.New(rand.NewSource(seed)), pop: make(map[kg.EntityID]float64)}
+}
+
+// snapshotPops copies the per-entity popularity shadow, for capturing
+// the acknowledged state at a durability boundary.
+func (s *scripted) snapshotPops() map[kg.EntityID]float64 {
+	out := make(map[kg.EntityID]float64, len(s.pop))
+	for id, p := range s.pop {
+		out[id] = p
+	}
+	return out
 }
 
 var scriptEpoch = time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
@@ -66,6 +81,7 @@ func (s *scripted) addEntity() {
 		s.t.Fatalf("AddEntity: %v", err)
 	}
 	s.ents = append(s.ents, id)
+	s.pop[id] = e.Popularity
 }
 
 func (s *scripted) addPredicate() {
@@ -125,6 +141,14 @@ func (s *scripted) step() {
 		s.addPredicate()
 	case s.rng.Intn(30) == 0:
 		s.addType()
+	case s.rng.Intn(10) == 0:
+		// In-place record update, monotone so recovery can be bounded.
+		id := s.ents[s.rng.Intn(len(s.ents))]
+		next := s.pop[id] + float64(1+s.rng.Intn(3))
+		if !s.g.UpdateEntity(id, func(e *kg.Entity) { e.Popularity = next }) {
+			s.t.Fatalf("UpdateEntity(%d) failed", id)
+		}
+		s.pop[id] = next
 	case len(s.live) > 4 && s.rng.Intn(6) == 0:
 		i := s.rng.Intn(len(s.live))
 		tr := s.live[i]
@@ -241,7 +265,11 @@ func replayPrefix(t testing.TB, src *kg.Graph, wm uint64) *kg.Graph {
 	}
 	ref := kg.NewGraphWithShards(2)
 	copyDicts(t, ref, src)
-	for _, mu := range src.MutationsSince(0) {
+	muts, complete := src.Feed(0).Pull()
+	if !complete {
+		t.Fatal("reference graph feed incomplete despite zero floor")
+	}
+	for _, mu := range muts {
 		if mu.Seq > wm {
 			break
 		}
