@@ -37,6 +37,20 @@
 // outlive the server's WriteTimeout — the handler sets a per-write
 // deadline on each event instead.
 //
+// -rules FILE installs a Datalog-style rule program (internal/rules) at
+// startup; its head predicates answer through /query, /subscribe, and
+// cursors exactly like base predicates and stay fresh as the graph
+// mutates. The same program can be (re)installed at runtime with
+// POST /rules {"text": "..."}; GET /rules returns the installed source
+// and maintenance counters, and POST /derive materializes in-graph
+// analytics (connected components, sameAs closure, k-hop) as derived
+// predicates:
+//
+//	curl -s localhost:8080/derive -d '{"kind": "components", "out": "component"}'
+//
+// /health reports the rules engine's fact count and maintenance
+// counters under "rules" once a program is installed.
+//
 // With -data-dir the graph is durable: a fresh directory is seeded from
 // the generated world (checkpointed on startup), an existing one is
 // recovered — checkpoint load plus write-ahead-log replay — and served
@@ -48,7 +62,7 @@
 //
 // Usage:
 //
-//	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1] [-data-dir DIR] [-query-workers 1]
+//	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1] [-data-dir DIR] [-query-workers 1] [-rules FILE]
 package main
 
 import (
@@ -57,6 +71,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -75,6 +90,7 @@ func main() {
 	epochs := flag.Int("epochs", 25, "training epochs")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves from memory only. World flags (-people, -clusters, -seed) must match across restarts of the same directory")
 	queryWorkers := flag.Int("query-workers", 1, "parallel workers per /query solve (1 = sequential; results are identical at any count)")
+	rulesFile := flag.String("rules", "", "Datalog-style rule program to install at startup (see internal/rules for the syntax)")
 	flag.Parse()
 
 	log.Printf("generating world: %d people, %d clusters (seed %d)", *people, *clusters, *seed)
@@ -140,6 +156,18 @@ func main() {
 
 	if err := p.BuildAnnotator(saga.AnnotateConfig{Mode: saga.ModeContextual, Seed: *seed}); err != nil {
 		log.Fatalf("build annotator: %v", err)
+	}
+
+	if *rulesFile != "" {
+		text, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			log.Fatalf("read rules %s: %v", *rulesFile, err)
+		}
+		if err := p.DefineRulesText(string(text)); err != nil {
+			log.Fatalf("install rules %s: %v", *rulesFile, err)
+		}
+		st := p.RuleStats()
+		log.Printf("installed %d rules from %s: %d derived facts, %d strata", st.Rules, *rulesFile, st.Facts, st.Strata)
 	}
 
 	log.Printf("generating %d-document corpus and search index", *docs)

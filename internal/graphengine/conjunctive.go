@@ -133,4 +133,3 @@ func estimateOn(g conjGraph, c Clause, bound Binding) int {
 		return g.PredicateFrequency(c.Predicate) + 2
 	}
 }
-

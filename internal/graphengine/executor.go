@@ -114,6 +114,26 @@ func (e *executor) exec(idx int) bool {
 		return ok
 	}
 
+	// Chunked facts expansion: the bound-subject twin of the posting path
+	// above. Fact-list slabs are copied out under one shard lock
+	// acquisition each; a concurrent retract in the shard splices lists
+	// and restarts the read, which can re-deliver triples, so — like the
+	// posting path — the route is only taken when the leaf dedup is on.
+	if step.Path == PathFacts && e.chunked {
+		sv, _ := resolve(c.Subject, e.bound)
+		ok := true
+		e.g.FactsChunked(sv.Entity, c.Predicate, postingChunkSize, func(chunk []kg.Triple, restarted bool) bool {
+			for _, t := range chunk {
+				if !e.candidate(idx, c, t) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
 	// Buffered expansion: candidates are copied out under the index locks
 	// and enumerated lock-free, so the recursion (and the consumer's loop
 	// body) never runs inside a graph lock.

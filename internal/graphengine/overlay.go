@@ -211,6 +211,50 @@ func (o *Overlay) FactsFunc(subj kg.EntityID, pred kg.PredicateID, fn func(kg.Tr
 	}
 }
 
+// FactsChunked streams the (subj, pred) facts in chunks of at most
+// chunkSize, in the same order as FactsFunc. The base is immutable, so
+// unlike the live graph's chunked read the enumeration can never
+// restart: restarted is always false.
+func (o *Overlay) FactsChunked(subj kg.EntityID, pred kg.PredicateID, chunkSize int, fn func(chunk []kg.Triple, restarted bool) bool) {
+	if chunkSize <= 0 {
+		chunkSize = 1024
+	}
+	buf := make([]kg.Triple, 0, chunkSize)
+	stopped := false
+	emit := func(t kg.Triple) bool {
+		buf = append(buf, t)
+		if len(buf) < chunkSize {
+			return true
+		}
+		ok := fn(buf, false)
+		buf = buf[:0]
+		return ok
+	}
+	o.base.FactsChunked(subj, pred, chunkSize, func(chunk []kg.Triple, _ bool) bool {
+		for _, t := range chunk {
+			if _, gone := o.removed[t.IdentityKey()]; gone {
+				continue
+			}
+			if !emit(t) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, t := range o.addedFacts[spKey{subj, pred}] {
+		if !emit(t) {
+			return
+		}
+	}
+	if len(buf) > 0 {
+		fn(buf, false)
+	}
+}
+
 // SubjectsWithFunc streams the (pred, obj) subjects in live posting
 // order: surviving base subjects, then suffix-added subjects.
 func (o *Overlay) SubjectsWithFunc(pred kg.PredicateID, obj kg.Value, fn func(kg.EntityID) bool) {

@@ -99,6 +99,7 @@ type conjGraph interface {
 	PredicateFrequency(kg.PredicateID) int
 	HasFact(kg.EntityID, kg.PredicateID, kg.Value) bool
 	FactsFunc(kg.EntityID, kg.PredicateID, func(kg.Triple) bool)
+	FactsChunked(kg.EntityID, kg.PredicateID, int, func([]kg.Triple, bool) bool)
 	SubjectsWithFunc(kg.PredicateID, kg.Value, func(kg.EntityID) bool)
 	SubjectsWithChunked(kg.PredicateID, kg.Value, int, func([]kg.EntityID, bool) bool)
 	PredicateEntriesFunc(kg.PredicateID, func(kg.Value, kg.EntityID) bool)
@@ -135,8 +136,9 @@ type conjGraph interface {
 // Errors (clause validation, cursor shape, context cancellation) are
 // yielded as the final (nil, err) element; rows always carry a nil error.
 func (e *Engine) StreamConjunctive(clauses []Clause, opts QueryOptions) iter.Seq2[Binding, error] {
-	return streamPlanned(e.g, clauses, opts, func() *Plan {
-		return e.plans.plan(e.g, clauses, shapeKey(clauses))
+	g := e.read()
+	return streamPlanned(g, clauses, opts, func() *Plan {
+		return e.plans.plan(g, clauses, shapeKey(clauses))
 	})
 }
 
@@ -170,7 +172,8 @@ func (e *Engine) PlanConjunctive(clauses []Clause) (*Plan, error) {
 	if err := validateClauses(clauses); err != nil {
 		return nil, err
 	}
-	return e.plans.plan(e.g, clauses, shapeKey(clauses)), nil
+	g := e.read()
+	return e.plans.plan(g, clauses, shapeKey(clauses)), nil
 }
 
 // PlanCacheStats snapshots the Engine's plan-cache counters.

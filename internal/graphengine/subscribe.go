@@ -14,7 +14,9 @@ import (
 // maintained incrementally against the graph's changefeed. A hub
 // goroutine (one per Engine, started lazily) pulls mutation batches
 // through a single kg.Changefeed and delta-joins each mutation against
-// every subscription's clauses:
+// the subscriptions whose clauses mention the mutation's predicate — a
+// predicate-keyed dispatch index (byPred) keeps every other standing
+// query entirely off the per-mutation path:
 //
 //   - an assert that θ-unifies with a clause triggers a residual solve
 //     of the θ-substituted conjunction through the Engine's plan cache
@@ -116,6 +118,7 @@ type subHub struct {
 
 	mu      sync.Mutex
 	subs    map[*Subscription]struct{}
+	byPred  map[kg.PredicateID]map[*Subscription]struct{}
 	feed    *kg.Changefeed
 	running bool
 	stop    chan struct{}
@@ -193,6 +196,7 @@ func (e *Engine) Subscribe(clauses []Clause, opts SubscribeOptions) (*Subscripti
 		h.subs = make(map[*Subscription]struct{})
 	}
 	h.subs[s] = struct{}{}
+	h.indexLocked(s)
 	if !h.running {
 		h.feed = e.g.Feed(wm)
 		h.stop = make(chan struct{})
@@ -215,6 +219,37 @@ func (s *Subscription) Close() {
 	s.done = true
 	close(s.ch)
 	delete(h.subs, s)
+	h.unindexLocked(s)
+}
+
+// indexLocked registers the subscription under every predicate its
+// clauses mention — the dispatch index pollLocked and the derived-delta
+// path route mutations through, so a mutation batch only ever touches
+// the subscriptions whose clauses could unify with it.
+func (h *subHub) indexLocked(s *Subscription) {
+	if h.byPred == nil {
+		h.byPred = make(map[kg.PredicateID]map[*Subscription]struct{})
+	}
+	for _, c := range s.clauses {
+		set := h.byPred[c.Predicate]
+		if set == nil {
+			set = make(map[*Subscription]struct{})
+			h.byPred[c.Predicate] = set
+		}
+		set[s] = struct{}{}
+	}
+}
+
+// unindexLocked removes the subscription from the dispatch index.
+func (h *subHub) unindexLocked(s *Subscription) {
+	for _, c := range s.clauses {
+		if set := h.byPred[c.Predicate]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(h.byPred, c.Predicate)
+			}
+		}
+	}
 }
 
 // SubscriptionStats snapshots the hub. Engines with no subscriptions
@@ -294,8 +329,13 @@ func (h *subHub) tickInterval() time.Duration {
 }
 
 // pollLocked pulls the next mutation batch and merges its deltas into
-// every subscription's pending set. A floor pass falls back to a full
-// re-solve per subscription.
+// the affected subscriptions' pending sets. Dispatch is predicate-keyed:
+// each mutation only visits the subscriptions whose clauses mention its
+// predicate (byPred), so standing queries over other predicates cost
+// zero per batch — not even a failed unify. Every subscription still
+// advances its applied watermark: a mutation whose predicate no clause
+// mentions cannot change any answer set. A floor pass falls back to a
+// full re-solve per subscription.
 func (h *subHub) pollLocked() {
 	muts, complete := h.feed.Pull()
 	if !complete {
@@ -308,9 +348,8 @@ func (h *subHub) pollLocked() {
 	if len(muts) == 0 {
 		return
 	}
-	wm := h.feed.Cursor()
-	for s := range h.subs {
-		for _, mu := range muts {
+	for _, mu := range muts {
+		for s := range h.byPred[mu.T.Predicate] {
 			// Mutations at or below the subscription's snapshot (or
 			// fallback re-solve) watermark are already reflected.
 			if mu.Seq <= s.applied {
@@ -323,6 +362,9 @@ func (h *subHub) pollLocked() {
 				h.deltaRetractLocked(s, mu.T)
 			}
 		}
+	}
+	wm := h.feed.Cursor()
+	for s := range h.subs {
 		if wm > s.applied {
 			s.applied = wm
 		}
@@ -386,7 +428,7 @@ func (h *subHub) deltaRetractLocked(s *Subscription, t kg.Triple) {
 		if !bindingGrounds(s.clauses, b, tk) {
 			continue
 		}
-		if bindingHolds(h.e.g, s.clauses, b) {
+		if bindingHolds(h.e.read(), s.clauses, b) {
 			continue
 		}
 		delete(s.current, key)
@@ -475,6 +517,7 @@ func (h *subHub) flushLocked() {
 				s.done = true
 				close(s.ch)
 				delete(h.subs, s)
+				h.unindexLocked(s)
 				h.evictions.Inc()
 			}
 		}
@@ -553,8 +596,9 @@ func bindingGrounds(clauses []Clause, b Binding, tk kg.TripleKey) bool {
 }
 
 // bindingHolds re-verifies a complete binding: every clause's grounded
-// instance must still be asserted.
-func bindingHolds(g *kg.Graph, clauses []Clause, b Binding) bool {
+// instance must still be asserted. It takes the solver's read surface so
+// a clause over a derived predicate verifies against the union view.
+func bindingHolds(g conjGraph, clauses []Clause, b Binding) bool {
 	for _, c := range clauses {
 		sv, ok := resolve(c.Subject, b)
 		if !ok || !sv.IsEntity() {

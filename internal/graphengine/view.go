@@ -46,6 +46,7 @@ package graphengine
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"saga/internal/kg"
 )
@@ -110,6 +111,12 @@ type Engine struct {
 
 	snap  snapshotCache
 	plans *planCache
+
+	// derived, when set (AttachDerived), is the combined base+derived
+	// read surface conjunctive solves run against, making derived
+	// predicates queryable transparently. Atomic so the hot query path
+	// never takes e.mu.
+	derived atomic.Pointer[DerivedView]
 }
 
 // New returns an engine over g.

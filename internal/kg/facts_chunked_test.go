@@ -1,0 +1,121 @@
+package kg
+
+import (
+	"testing"
+)
+
+// TestFactsChunkedMatchesFactsFunc: the chunked read delivers the same
+// triples in the same order as the streaming read, across chunk sizes
+// that do and do not divide the list length.
+func TestFactsChunkedMatchesFactsFunc(t *testing.T) {
+	g := NewGraph()
+	s := mustEntity(t, g, "Q1", "subj")
+	p := mustPredicate(t, g, "score")
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := g.Assert(Triple{Subject: s, Predicate: p, Object: IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []Triple
+	g.FactsFunc(s, p, func(tr Triple) bool {
+		want = append(want, tr)
+		return true
+	})
+	for _, chunk := range []int{1, 3, 10, 1000, 0 /* default */, -5} {
+		var got []Triple
+		g.FactsChunked(s, p, chunk, func(c []Triple, restarted bool) bool {
+			if restarted {
+				t.Fatalf("chunk=%d: restart on a quiescent graph", chunk)
+			}
+			got = append(got, c...)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d triples, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].IdentityKey() != want[i].IdentityKey() {
+				t.Fatalf("chunk=%d: order diverged at %d", chunk, i)
+			}
+		}
+	}
+}
+
+// TestFactsChunkedEarlyStop: returning false stops the enumeration.
+func TestFactsChunkedEarlyStop(t *testing.T) {
+	g := NewGraph()
+	s := mustEntity(t, g, "Q1", "subj")
+	p := mustPredicate(t, g, "score")
+	for i := 0; i < 9; i++ {
+		if err := g.Assert(Triple{Subject: s, Predicate: p, Object: IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	g.FactsChunked(s, p, 2, func(c []Triple, restarted bool) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after returning false", calls)
+	}
+}
+
+// TestFactsChunkedRestartOnRetract: a retract in the subject's shard
+// between chunks splices the fact list, so the read must restart from
+// offset zero with restarted=true — saved offsets are only valid while
+// the shard's splice counter is unchanged.
+func TestFactsChunkedRestartOnRetract(t *testing.T) {
+	g := NewGraph()
+	s := mustEntity(t, g, "Q1", "subj")
+	p := mustPredicate(t, g, "score")
+	const total = 8
+	for i := 0; i < total; i++ {
+		if err := g.Assert(Triple{Subject: s, Predicate: p, Object: IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var restarts int
+	var got []Triple
+	first := true
+	g.FactsChunked(s, p, 2, func(c []Triple, restarted bool) bool {
+		if restarted {
+			restarts++
+			got = got[:0]
+		}
+		got = append(got, c...)
+		if first {
+			first = false
+			// Retract the first fact mid-enumeration: splices the list.
+			if !g.Retract(Triple{Subject: s, Predicate: p, Object: IntValue(0)}) {
+				t.Fatal("retract failed")
+			}
+		}
+		return true
+	})
+	if restarts == 0 {
+		t.Fatal("no restart after a concurrent retract spliced the list")
+	}
+	if len(got) != total-1 {
+		t.Fatalf("post-restart read saw %d facts, want %d", len(got), total-1)
+	}
+	// Asserts do NOT restart the read: lists only grow in place.
+	restarts = 0
+	first = true
+	g.FactsChunked(s, p, 2, func(c []Triple, restarted bool) bool {
+		if restarted {
+			restarts++
+		}
+		if first {
+			first = false
+			if err := g.Assert(Triple{Subject: s, Predicate: p, Object: IntValue(99)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return true
+	})
+	if restarts != 0 {
+		t.Fatal("an append-only assert restarted the chunked read")
+	}
+}

@@ -76,6 +76,14 @@ type graphShard struct {
 
 	tripleKeys map[TripleKey]struct{}
 
+	// factSplices counts retracts applied to this shard. Assertion only
+	// ever appends to spo fact lists (Assert, assertShardBatch), so a
+	// saved list offset stays valid across concurrent asserts; Retract is
+	// the one operation that splices a list and shifts offsets. Chunked
+	// fact readers (FactsChunked) capture the counter at their first read
+	// and restart from the beginning when it moves.
+	factSplices uint64
+
 	// log holds this shard's slice of the global mutation feed. Sequence
 	// numbers are drawn from Graph.seq while the shard write lock is held,
 	// so within one shard the log is strictly ascending in Seq.
@@ -867,6 +875,7 @@ func (g *Graph) Retract(t Triple) bool {
 		}
 	}
 	g.pomBufferLocked(sh, t.Predicate, t.Subject, key.Object, false)
+	sh.factSplices++
 
 	sh.log = append(sh.log, Mutation{Seq: g.seq.Add(1), Op: OpRetract, T: t})
 	return true
@@ -997,6 +1006,69 @@ func (g *Graph) FactsFunc(subj EntityID, pred PredicateID, fn func(Triple) bool)
 		if !fn(t) {
 			return
 		}
+	}
+}
+
+// FactsChunked streams the (subj, pred) triples to fn in chunks of at
+// most chunkSize — the fact-list counterpart of the pom index's
+// SubjectsWithChunked. Each chunk is copied out under one shard read-lock
+// acquisition and fn runs with no locks held, so fn may read (or mutate)
+// the graph and the lock hold time is bounded by chunkSize regardless of
+// the fact list's length. fn returning false stops the enumeration.
+//
+// Resumption between chunks is offset-based and guarded by the shard's
+// splice counter: assertion only appends to fact lists, so a saved offset
+// survives concurrent asserts, but any retract in the shard splices a
+// list and the reader restarts from the beginning, delivering the next
+// chunk with restarted=true. A restart can re-deliver triples already
+// seen; callers needing exactly-once must dedup (the conjunctive
+// executor's streaming dedup absorbs this). The guarantee is one-sided,
+// matching SubjectsWithChunked: every triple present for the entire
+// enumeration is delivered at least once.
+func (g *Graph) FactsChunked(subj EntityID, pred PredicateID, chunkSize int, fn func(chunk []Triple, restarted bool) bool) {
+	if chunkSize <= 0 {
+		chunkSize = 1024
+	}
+	sh := g.shard(subj)
+	var (
+		buf       []Triple
+		off       int
+		ver       uint64
+		first     = true
+		restarted bool
+	)
+	for {
+		sh.mu.RLock()
+		var ts []Triple
+		if bySubj := sh.spo[subj]; bySubj != nil {
+			ts = bySubj[pred]
+		}
+		if first {
+			ver = sh.factSplices
+			first = false
+			if n := min(len(ts), chunkSize); n > 0 {
+				buf = make([]Triple, 0, n)
+			}
+		} else if sh.factSplices != ver {
+			ver = sh.factSplices
+			off = 0
+			restarted = true
+		}
+		end := min(off+chunkSize, len(ts))
+		buf = append(buf[:0], ts[off:end]...)
+		done := end >= len(ts)
+		sh.mu.RUnlock()
+
+		if len(buf) > 0 {
+			if !fn(buf, restarted) {
+				return
+			}
+			restarted = false
+		}
+		if done {
+			return
+		}
+		off = end
 	}
 }
 

@@ -1,0 +1,386 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"saga/internal/graphengine"
+	"saga/internal/kg"
+)
+
+// ParseRules parses a rule program and resolves its names against g,
+// returning a validated RuleSet. The concrete syntax is the usual
+// Datalog surface, one rule per '.':
+//
+//	chain(X, Y) :- reportsTo(X, Y).
+//	chain(X, Z) :- reportsTo(X, Y), chain(Y, Z).
+//	# comments run to end of line ('%' works too)
+//
+// Atoms are binary — pred(Subject, Object) — matching the triple model.
+// Terms are variables (initial uppercase letter, '_', or a '?' prefix:
+// X, _n, ?who) or constants: @key references the entity with that kg
+// key, "..." and '...' are string literals (so "=" and other operator
+// spellings are plain data), integers and floats are numeric literals,
+// nan is the float NaN, and true/false are booleans.
+//
+// Resolution is two-phase so a body may reference a head defined later
+// in the program: head predicate names are resolved first — created in
+// g when missing, since rules introduce new predicates — then body
+// predicate names must resolve to an existing predicate or one of the
+// heads. Entity keys must already exist; rules cannot invent entities.
+func ParseRules(g *kg.Graph, text string) (*RuleSet, error) {
+	raw, err := parseProgram(text)
+	if err != nil {
+		return nil, err
+	}
+	// Phase one: head predicate names, created on demand.
+	headIDs := make(map[string]kg.PredicateID)
+	for _, r := range raw {
+		if _, done := headIDs[r.head.pred]; done {
+			continue
+		}
+		if p, ok := g.PredicateByName(r.head.pred); ok {
+			headIDs[r.head.pred] = p.ID
+			continue
+		}
+		id, err := g.AddPredicate(kg.Predicate{Name: r.head.pred})
+		if err != nil {
+			return nil, fmt.Errorf("rules: head predicate %q: %w", r.head.pred, err)
+		}
+		headIDs[r.head.pred] = id
+	}
+	// Phase two: full resolution.
+	rules := make([]Rule, 0, len(raw))
+	for _, r := range raw {
+		head, err := resolveAtom(g, headIDs, r.head)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", r.line, err)
+		}
+		body := make([]graphengine.Clause, 0, len(r.body))
+		for _, a := range r.body {
+			c, err := resolveAtom(g, headIDs, a)
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: %w", r.line, err)
+			}
+			body = append(body, c)
+		}
+		rules = append(rules, Rule{Head: head, Body: body})
+	}
+	rs, err := NewRuleSet(rules)
+	if err != nil {
+		return nil, err
+	}
+	rs.source = text
+	return rs, nil
+}
+
+// rawAtom and rawRule are the name-level AST between parse and resolve.
+type rawAtom struct {
+	pred string
+	subj rawTerm
+	obj  rawTerm
+}
+
+type rawTerm struct {
+	variable string // non-empty for variables
+	entity   string // non-empty for @key references
+	lit      kg.Value
+	isLit    bool
+}
+
+type rawRule struct {
+	line int
+	head rawAtom
+	body []rawAtom
+}
+
+func resolveAtom(g *kg.Graph, headIDs map[string]kg.PredicateID, a rawAtom) (graphengine.Clause, error) {
+	var c graphengine.Clause
+	if id, ok := headIDs[a.pred]; ok {
+		c.Predicate = id
+	} else if p, ok := g.PredicateByName(a.pred); ok {
+		c.Predicate = p.ID
+	} else {
+		return c, fmt.Errorf("unknown predicate %q", a.pred)
+	}
+	var err error
+	if c.Subject, err = resolveTerm(g, a.subj); err != nil {
+		return c, err
+	}
+	if c.Object, err = resolveTerm(g, a.obj); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func resolveTerm(g *kg.Graph, t rawTerm) (graphengine.Term, error) {
+	switch {
+	case t.variable != "":
+		return graphengine.Term{Var: t.variable}, nil
+	case t.entity != "":
+		ent, ok := g.EntityByKey(t.entity)
+		if !ok {
+			return graphengine.Term{}, fmt.Errorf("unknown entity key %q", t.entity)
+		}
+		return graphengine.Term{Const: kg.EntityValue(ent.ID)}, nil
+	case t.isLit:
+		return graphengine.Term{Const: t.lit}, nil
+	default:
+		return graphengine.Term{}, fmt.Errorf("empty term")
+	}
+}
+
+// parseProgram tokenizes and parses the program into raw rules.
+func parseProgram(text string) ([]rawRule, error) {
+	p := &parser{src: text, line: 1}
+	var rules []rawRule
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return rules, nil
+		}
+		start := p.line
+		head, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":-"); err != nil {
+			return nil, err
+		}
+		var body []rawAtom
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, a)
+			p.skipSpace()
+			if p.consume(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		rules = append(rules, rawRule{line: start, head: head, body: body})
+	}
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("rules: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// skipSpace advances past whitespace and comments ('#' and '%' to end
+// of line).
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		switch {
+		case ch == '\n':
+			p.line++
+			p.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			p.pos++
+		case ch == '#' || ch == '%':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) consume(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.consume(tok) {
+		return p.errf("expected %q", tok)
+	}
+	return nil
+}
+
+// ident reads an identifier: letters, digits, '_', '-', ':' after an
+// initial letter or '_' (':' admits namespaced predicate names).
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := rune(p.src[p.pos])
+		if unicode.IsLetter(ch) || ch == '_' || (p.pos > start && (unicode.IsDigit(ch) || ch == '-' || ch == ':')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) atom() (rawAtom, error) {
+	var a rawAtom
+	name, err := p.ident()
+	if err != nil {
+		return a, err
+	}
+	a.pred = name
+	if err := p.expect("("); err != nil {
+		return a, err
+	}
+	if a.subj, err = p.term(); err != nil {
+		return a, err
+	}
+	if err := p.expect(","); err != nil {
+		return a, err
+	}
+	if a.obj, err = p.term(); err != nil {
+		return a, err
+	}
+	if err := p.expect(")"); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (rawTerm, error) {
+	p.skipSpace()
+	if p.eof() {
+		return rawTerm{}, p.errf("expected term")
+	}
+	ch := p.src[p.pos]
+	switch {
+	case ch == '?':
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return rawTerm{}, err
+		}
+		return rawTerm{variable: "?" + name}, nil
+	case ch == '@':
+		p.pos++
+		key, err := p.ident()
+		if err != nil {
+			return rawTerm{}, err
+		}
+		return rawTerm{entity: key}, nil
+	case ch == '"' || ch == '\'':
+		s, err := p.quoted(ch)
+		if err != nil {
+			return rawTerm{}, err
+		}
+		return rawTerm{isLit: true, lit: kg.StringValue(s)}, nil
+	case ch == '-' || (ch >= '0' && ch <= '9'):
+		return p.number()
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return rawTerm{}, err
+		}
+		switch name {
+		case "true":
+			return rawTerm{isLit: true, lit: kg.BoolValue(true)}, nil
+		case "false":
+			return rawTerm{isLit: true, lit: kg.BoolValue(false)}, nil
+		case "nan":
+			return rawTerm{isLit: true, lit: kg.FloatValue(math.NaN())}, nil
+		}
+		first := rune(name[0])
+		if unicode.IsUpper(first) || first == '_' {
+			return rawTerm{variable: name}, nil
+		}
+		return rawTerm{}, p.errf("bare term %q: variables start uppercase (or use ?name); constants are @entityKey, quoted strings, numbers, true/false, nan", name)
+	}
+}
+
+// quoted reads a string delimited by quote, with backslash escapes for
+// the quote character and backslash itself.
+func (p *parser) quoted(quote byte) (string, error) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		switch ch {
+		case quote:
+			p.pos++
+			return sb.String(), nil
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return "", p.errf("unterminated escape")
+			}
+			sb.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+		case '\n':
+			return "", p.errf("unterminated string")
+		default:
+			sb.WriteByte(ch)
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *parser) number() (rawTerm, error) {
+	start := p.pos
+	if p.src[p.pos] == '-' {
+		p.pos++
+	}
+	isFloat := false
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if ch >= '0' && ch <= '9' {
+			p.pos++
+			continue
+		}
+		if (ch == '.' || ch == 'e' || ch == 'E' || ch == '+' || ch == '-') && p.pos > start {
+			// '.' terminates a rule, so only treat it as a decimal point
+			// when a digit follows.
+			if ch == '.' && (p.pos+1 >= len(p.src) || p.src[p.pos+1] < '0' || p.src[p.pos+1] > '9') {
+				break
+			}
+			if ch == '+' || ch == '-' {
+				prev := p.src[p.pos-1]
+				if prev != 'e' && prev != 'E' {
+					break
+				}
+			}
+			isFloat = true
+			p.pos++
+			continue
+		}
+		break
+	}
+	lit := p.src[start:p.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return rawTerm{}, p.errf("bad number %q", lit)
+		}
+		return rawTerm{isLit: true, lit: kg.FloatValue(f)}, nil
+	}
+	n, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return rawTerm{}, p.errf("bad number %q", lit)
+	}
+	return rawTerm{isLit: true, lit: kg.IntValue(n)}, nil
+}

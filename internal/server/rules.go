@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"saga/saga"
+)
+
+// Rule-layer endpoints. POST /rules installs a Datalog-style rule
+// program (see internal/rules for the language); its head predicates
+// then answer through POST /query like any base predicate, paginated
+// cursors included, because the rules engine attaches to the same query
+// engine /query solves against. GET /rules reports the installed
+// program and the engine's maintenance counters. POST /derive runs one
+// in-graph analytics pass (connected components, sameAs closure, k-hop
+// reachability) and materializes it as a derived predicate.
+
+// maxRulesBody bounds the POST /rules and POST /derive bodies, like the
+// query endpoint's cap.
+const maxRulesBody = 1 << 20
+
+// rulesRequest is the POST /rules body.
+type rulesRequest struct {
+	// Text is the rule program.
+	Text string `json:"text"`
+}
+
+// handleRulesDefine serves POST /rules.
+func (s *Server) handleRulesDefine(w http.ResponseWriter, r *http.Request) {
+	var req rulesRequest
+	body := http.MaxBytesReader(w, r.Body, maxRulesBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.Platform.DefineRulesText(req.Text); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eng := s.Platform.Rules()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rules": eng.RuleSet().Len(),
+		"facts": eng.Stats().Facts,
+	})
+}
+
+// handleRulesGet serves GET /rules.
+func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
+	eng := s.Platform.Rules()
+	if eng == nil {
+		writeError(w, http.StatusNotFound, errors.New("no rules installed"))
+		return
+	}
+	g := s.Platform.Graph()
+	heads := make([]string, 0)
+	for _, p := range eng.RuleSet().Heads() {
+		if pr := g.Predicate(p); pr != nil {
+			heads = append(heads, pr.Name)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"source": eng.RuleSet().Source(),
+		"rules":  eng.RuleSet().Len(),
+		"heads":  heads,
+		"stats":  eng.Stats(),
+	})
+}
+
+// deriveRequest is the POST /derive body (saga.DeriveRequest's JSON
+// shape).
+type deriveRequest struct {
+	Kind       string   `json:"kind"`
+	Out        string   `json:"out"`
+	Source     string   `json:"source,omitempty"`
+	SourceKeys []string `json:"source_keys,omitempty"`
+	K          int      `json:"k,omitempty"`
+}
+
+// handleDerive serves POST /derive.
+func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
+	var req deriveRequest
+	body := http.MaxBytesReader(w, r.Body, maxRulesBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	rep, err := s.Platform.DeriveStats(saga.DeriveRequest{
+		Kind:       req.Kind,
+		Out:        req.Out,
+		Source:     req.Source,
+		SourceKeys: req.SourceKeys,
+		K:          req.K,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"facts":     rep.Facts,
+		"watermark": rep.Watermark,
+	})
+}

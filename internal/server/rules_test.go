@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"saga/internal/kg"
+	"saga/saga"
+)
+
+// jsonBody marshals a request body for do().
+func jsonBody(v any) (string, error) {
+	b, err := json.Marshal(v)
+	return string(b), err
+}
+
+// rulesServer builds a small management-chain graph — two disjoint
+// reporting lines over one platform — without the embedding/annotator
+// machinery the full testServer trains.
+func rulesServer(t *testing.T) (*Server, *kg.Graph) {
+	t.Helper()
+	g := saga.NewGraph()
+	p := saga.New(g)
+	pred, err := g.AddPredicate(kg.Predicate{Name: "reportsTo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line one: a0 -> a1 -> a2 -> a3. Line two: b0 -> b1.
+	mkLine := func(prefix string, n int) []kg.EntityID {
+		ids := make([]kg.EntityID, n)
+		for i := range ids {
+			id, err := g.AddEntity(kg.Entity{Key: fmt.Sprintf("%s%d", prefix, i), Name: fmt.Sprintf("%s%d", prefix, i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+		for i := 0; i+1 < n; i++ {
+			if err := g.Assert(kg.Triple{Subject: ids[i], Predicate: pred, Object: kg.EntityValue(ids[i+1])}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ids
+	}
+	mkLine("a", 4)
+	mkLine("b", 2)
+	srv, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, g
+}
+
+const chainProgram = `
+# transitive closure of the reporting chain
+chain(X, Y) :- reportsTo(X, Y).
+chain(X, Z) :- chain(X, Y), reportsTo(Y, Z).
+`
+
+// TestRulesEndpointLifecycle: define a program over HTTP, read it back,
+// and see its counters surface in /health.
+func TestRulesEndpointLifecycle(t *testing.T) {
+	srv, _ := rulesServer(t)
+	h := srv.Handler()
+
+	// No rules yet: GET /rules is a 404 and /health has no rules block.
+	rec, _ := do(t, h, "GET", "/rules", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /rules before define: status = %d", rec.Code)
+	}
+	_, health := do(t, h, "GET", "/health", "")
+	if _, ok := health["rules"]; ok {
+		t.Fatalf("health advertises rules before any are defined: %v", health)
+	}
+
+	body, err := jsonBody(map[string]string{"text": chainProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, resp := do(t, h, "POST", "/rules", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /rules: status = %d body %v", rec.Code, resp)
+	}
+	// Closure of a 4-line is 3+2+1 = 6 facts, plus 1 from the 2-line.
+	if resp["rules"].(float64) != 2 || resp["facts"].(float64) != 7 {
+		t.Fatalf("define response = %v, want 2 rules / 7 facts", resp)
+	}
+
+	rec, resp = do(t, h, "GET", "/rules", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /rules: status = %d", rec.Code)
+	}
+	if resp["source"] == "" || resp["rules"].(float64) != 2 {
+		t.Fatalf("GET /rules = %v", resp)
+	}
+	heads, ok := resp["heads"].([]any)
+	if !ok || len(heads) != 1 || heads[0] != "chain" {
+		t.Fatalf("heads = %v, want [chain]", resp["heads"])
+	}
+
+	_, health = do(t, h, "GET", "/health", "")
+	stats, ok := health["rules"].(map[string]any)
+	if !ok || stats["Facts"].(float64) != 7 {
+		t.Fatalf("health rules block = %v", health["rules"])
+	}
+
+	// A bad program is a 400 and leaves the installed one in place.
+	body, err = jsonBody(map[string]string{"text": "chain(X, Y) :- nosuchpred(X, Y)."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = do(t, h, "POST", "/rules", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad program: status = %d", rec.Code)
+	}
+	_, resp = do(t, h, "GET", "/rules", "")
+	if resp["rules"].(float64) != 2 {
+		t.Fatalf("failed define clobbered the program: %v", resp)
+	}
+}
+
+// TestDerivedPredicateOverQueryEndpoint: a derived predicate answers
+// through POST /query like a base one, and a limit-1 cursor walk
+// re-enumerates the same rows in the same order with no repeats.
+func TestDerivedPredicateOverQueryEndpoint(t *testing.T) {
+	srv, _ := rulesServer(t)
+	h := srv.Handler()
+	body, err := jsonBody(map[string]string{"text": chainProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, resp := do(t, h, "POST", "/rules", body); rec.Code != http.StatusOK {
+		t.Fatalf("define: %d %v", rec.Code, resp)
+	}
+
+	queryBody := func(cursor string, limit int) string {
+		req := map[string]any{
+			"clauses": []map[string]any{{
+				"subject":   map[string]any{"key": "a0"},
+				"predicate": "chain",
+				"object":    map[string]any{"var": "who"},
+			}},
+			"limit": limit,
+		}
+		if cursor != "" {
+			req["cursor"] = cursor
+		}
+		b, err := jsonBody(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	names := func(resp map[string]any) []string {
+		var out []string
+		for _, b := range resp["bindings"].([]any) {
+			who := b.(map[string]any)["who"].(map[string]any)
+			out = append(out, who["name"].(string))
+		}
+		return out
+	}
+
+	// One page holds everyone above a0: a1, a2, a3.
+	rec, resp := do(t, h, "POST", "/query", queryBody("", 100))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %v", rec.Code, resp)
+	}
+	full := names(resp)
+	if len(full) != 3 {
+		t.Fatalf("chain(a0, who) = %v, want 3 answers", full)
+	}
+	if _, ok := resp["next_cursor"]; ok {
+		t.Fatalf("spurious next_cursor on a complete page: %v", resp)
+	}
+
+	// Limit-1 cursor walk matches the full enumeration exactly.
+	var walked []string
+	cursor := ""
+	for range len(full) + 1 {
+		rec, resp := do(t, h, "POST", "/query", queryBody(cursor, 1))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cursored query: %d %v", rec.Code, resp)
+		}
+		walked = append(walked, names(resp)...)
+		next, ok := resp["next_cursor"].(string)
+		if !ok {
+			break
+		}
+		cursor = next
+	}
+	if fmt.Sprint(walked) != fmt.Sprint(full) {
+		t.Fatalf("cursor walk = %v, full page = %v", walked, full)
+	}
+}
+
+// TestDeriveEndpoint: POST /derive materializes connected components and
+// the output predicate answers through /query.
+func TestDeriveEndpoint(t *testing.T) {
+	srv, _ := rulesServer(t)
+	h := srv.Handler()
+	// Analytics need an engine; an empty program is enough.
+	body, err := jsonBody(map[string]string{"text": ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, resp := do(t, h, "POST", "/rules", body); rec.Code != http.StatusOK {
+		t.Fatalf("define: %d %v", rec.Code, resp)
+	}
+
+	body, err = jsonBody(map[string]any{"kind": "components", "out": "component"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, resp := do(t, h, "POST", "/derive", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("derive: %d %v", rec.Code, resp)
+	}
+	// Six connected entities across the two lines.
+	if resp["facts"].(float64) != 6 {
+		t.Fatalf("derive report = %v, want 6 facts", resp)
+	}
+
+	// component(X, rep) for the b-line: both members, representative b0.
+	qb, err := jsonBody(map[string]any{
+		"clauses": []map[string]any{{
+			"subject":   map[string]any{"var": "X"},
+			"predicate": "component",
+			"object":    map[string]any{"key": "b0"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, resp = do(t, h, "POST", "/query", qb)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("component query: %d %v", rec.Code, resp)
+	}
+	if resp["count"].(float64) != 2 {
+		t.Fatalf("b-component = %v, want 2 members", resp)
+	}
+
+	// Unknown kinds and k-hop without k are 400s.
+	for _, bad := range []map[string]any{
+		{"kind": "nope", "out": "x"},
+		{"kind": "khop", "out": "near", "source_keys": []string{"a0"}},
+		{"kind": "khop", "out": "near", "k": 2},
+	} {
+		b, err := jsonBody(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec, _ := do(t, h, "POST", "/derive", b); rec.Code != http.StatusBadRequest {
+			t.Fatalf("derive %v: status = %d, want 400", bad, rec.Code)
+		}
+	}
+}

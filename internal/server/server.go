@@ -56,6 +56,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /subscribe", s.handleSubscribe)
+	mux.HandleFunc("POST /rules", s.handleRulesDefine)
+	mux.HandleFunc("GET /rules", s.handleRulesGet)
+	mux.HandleFunc("POST /derive", s.handleDerive)
 	return mux
 }
 
@@ -82,14 +85,18 @@ func isClientGone(err error) bool {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g := s.Platform.Graph()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":     "ok",
 		"entities":   g.NumEntities(),
 		"predicates": g.NumPredicates(),
 		"triples":    g.NumTriples(),
 		"plan_cache": s.Platform.QueryPlanCacheStats(),
 		"changefeed": s.Platform.ChangefeedStats(),
-	})
+	}
+	if s.Platform.Rules() != nil {
+		resp["rules"] = s.Platform.RuleStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // entityResponse is the public JSON shape of an entity.

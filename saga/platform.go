@@ -12,6 +12,7 @@ import (
 	"saga/internal/graphengine"
 	"saga/internal/kg"
 	"saga/internal/odke"
+	"saga/internal/rules"
 	"saga/internal/wal"
 	"saga/internal/websearch"
 )
@@ -34,6 +35,7 @@ type Platform struct {
 	embedSvc  *embedserve.Service
 	annotator *annotate.Annotator
 	odkePipe  *odke.Pipeline
+	rules     *rules.Engine
 
 	// wal is the durability manager, set by OpenDurablePlatform; nil for
 	// memory-only platforms.
@@ -89,6 +91,125 @@ func (p *Platform) QueryPlanCacheStats() QueryPlanCacheStats {
 // must not mutate the graph (see Engine.Stream).
 func (p *Platform) StreamQuery(pat Pattern) iter.Seq[Triple] {
 	return p.engine.Stream(pat)
+}
+
+// DefineRulesText installs a Datalog-style rule program (see
+// internal/rules for the language): the program is parsed and validated
+// against the graph (head predicates are created on demand), a rules
+// engine runs the initial full derivation, attaches itself as the query
+// engine's derived-fact source — derived predicates become queryable
+// through every surface, POST /query included — and keeps the fixpoint
+// fresh against the graph's changefeed, feeding derived visibility
+// changes into live subscriptions. Redefining replaces the previous
+// program (its engine is stopped and detached first).
+func (p *Platform) DefineRulesText(text string) error {
+	rs, err := rules.ParseRules(p.graph, text)
+	if err != nil {
+		return err
+	}
+	return p.installRules(rs)
+}
+
+// DefineRules is DefineRulesText for programs built from Rule values
+// directly.
+func (p *Platform) DefineRules(list []Rule) error {
+	rs, err := rules.NewRuleSet(list)
+	if err != nil {
+		return err
+	}
+	return p.installRules(rs)
+}
+
+func (p *Platform) installRules(rs *rules.RuleSet) error {
+	eng, err := rules.New(p.engine, rs, rules.Options{OnDelta: p.engine.ApplyDerivedDeltas})
+	if err != nil {
+		return fmt.Errorf("saga: define rules: %w", err)
+	}
+	if p.rules != nil {
+		p.rules.Close()
+	}
+	p.rules = eng
+	p.engine.AttachDerived(eng)
+	return nil
+}
+
+// Rules returns the rules engine, or nil before DefineRules.
+func (p *Platform) Rules() *RulesEngine { return p.rules }
+
+// RuleStats snapshots the rules engine's derived-store size and
+// maintenance counters (zero value before DefineRules).
+func (p *Platform) RuleStats() RuleEngineStats {
+	if p.rules == nil {
+		return RuleEngineStats{}
+	}
+	return p.rules.Stats()
+}
+
+// DeriveRequest names one in-graph analytics materialization.
+type DeriveRequest struct {
+	// Kind selects the algorithm: "components" (connected components of
+	// the adjacency snapshot), "sameas" (equivalence closure of Source's
+	// facts), or "khop" (reachability within K hops of SourceKeys).
+	Kind string
+	// Out is the output predicate name, created if missing. It must not
+	// be a rule head.
+	Out string
+	// Source is the edge predicate name for Kind "sameas".
+	Source string
+	// SourceKeys are the BFS source entity keys for Kind "khop".
+	SourceKeys []string
+	// K is the hop bound for Kind "khop".
+	K int
+}
+
+// DeriveStats runs one analytics pass and materializes the result as a
+// derived predicate (replacing any previous materialization of the same
+// predicate). Requires DefineRules first — an empty program
+// (DefineRulesText("")) stands up an analytics-only engine.
+func (p *Platform) DeriveStats(req DeriveRequest) (DeriveReport, error) {
+	if p.rules == nil {
+		return DeriveReport{}, errors.New("saga: rules engine not initialized; call DefineRules first (an empty program works)")
+	}
+	if req.Out == "" {
+		return DeriveReport{}, errors.New("saga: derive: output predicate name required")
+	}
+	out, err := p.predicateID(req.Out)
+	if err != nil {
+		return DeriveReport{}, err
+	}
+	switch req.Kind {
+	case "components":
+		return p.rules.DeriveComponents(out)
+	case "sameas":
+		src, ok := p.graph.PredicateByName(req.Source)
+		if !ok {
+			return DeriveReport{}, fmt.Errorf("saga: derive: unknown source predicate %q", req.Source)
+		}
+		return p.rules.DeriveSameAsClosure(src.ID, out)
+	case "khop":
+		srcs := make([]EntityID, 0, len(req.SourceKeys))
+		for _, key := range req.SourceKeys {
+			e, ok := p.graph.EntityByKey(key)
+			if !ok {
+				return DeriveReport{}, fmt.Errorf("saga: derive: unknown entity key %q", key)
+			}
+			srcs = append(srcs, e.ID)
+		}
+		return p.rules.DeriveKHop(out, srcs, req.K)
+	default:
+		return DeriveReport{}, fmt.Errorf("saga: derive: unknown kind %q (want components, sameas, or khop)", req.Kind)
+	}
+}
+
+func (p *Platform) predicateID(name string) (PredicateID, error) {
+	if pr, ok := p.graph.PredicateByName(name); ok {
+		return pr.ID, nil
+	}
+	id, err := p.graph.AddPredicate(kg.Predicate{Name: name})
+	if err != nil {
+		return 0, fmt.Errorf("saga: derive: output predicate %q: %w", name, err)
+	}
+	return id, nil
 }
 
 // EmbeddingOptions configure Platform.TrainEmbeddings.

@@ -17,6 +17,7 @@ import (
 	"saga/internal/kg"
 	"saga/internal/odke"
 	"saga/internal/ondevice"
+	"saga/internal/rules"
 	"saga/internal/storage"
 	"saga/internal/vecindex"
 	"saga/internal/webcorpus"
@@ -139,6 +140,24 @@ var (
 
 // NewEngine wraps a graph with query and view capabilities.
 func NewEngine(g *Graph) *Engine { return graphengine.New(g) }
+
+// Rule layer (internal/rules).
+type (
+	// Rule is one Datalog-style rule over query clauses.
+	Rule = rules.Rule
+	// RuleSet is a validated, stratified rule program.
+	RuleSet = rules.RuleSet
+	// RulesEngine maintains the derived-fact fixpoint incrementally.
+	RulesEngine = rules.Engine
+	// RuleEngineStats snapshots the rules engine's counters.
+	RuleEngineStats = rules.Stats
+	// DeriveReport describes one analytics materialization.
+	DeriveReport = rules.DeriveReport
+)
+
+// ParseRules parses a Datalog-style rule program against a graph without
+// installing it (Platform.DefineRulesText parses and installs).
+var ParseRules = rules.ParseRules
 
 // Embeddings (internal/embedding, internal/embedserve).
 type (

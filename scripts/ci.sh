@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# ci.sh — the local CI gate: formatting, vet, build, and the full test
+# suite under the race detector. Run it before every push; it is exactly
+# what a hosted CI job would run, so a clean exit here means a clean
+# check there.
+#
+# Usage:
+#   scripts/ci.sh            # full gate
+#   SKIP_RACE=1 scripts/ci.sh  # tests without -race (quick mode)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+if [[ "${SKIP_RACE:-}" == "1" ]]; then
+    echo "== go test =="
+    go test ./...
+else
+    echo "== go test -race =="
+    go test -race ./...
+fi
+
+echo "CI gate passed."
