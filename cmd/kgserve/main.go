@@ -51,6 +51,33 @@
 // /health reports the rules engine's fact count and maintenance
 // counters under "rules" once a program is installed.
 //
+// The serving tier is overload-safe: every route passes an admission
+// gate (internal/admission) with per-class concurrency limits, bounded
+// FIFO wait queues, and per-request deadlines. Reads (/query, /entity,
+// /search, ...), writes (/ingest, /derive, POST /rules), and
+// subscriptions are limited independently — health and metrics are
+// exempt, and writes shed first under pressure so reads keep serving.
+// Overflow is shed with 429 + Retry-After; a request whose class budget
+// expires mid-solve gets 503 + Retry-After. /health reports per-class
+// in-flight, queue depth, admitted and shed counters under "admission".
+// The knobs:
+//
+//	-read-limit N        max in-flight read requests (default 256)
+//	-read-queue N        bounded read wait queue (default 512)
+//	-read-queue-wait D   max time a read may queue (default 250ms)
+//	-read-budget D       read request deadline (default 5s)
+//	-write-limit N       max in-flight writes (default 64)
+//	-write-queue N       bounded write wait queue (default 128)
+//	-write-queue-wait D  max time a write may queue (default 100ms)
+//	-write-budget D      write request deadline (default 5s)
+//	-max-subscriptions N concurrent /subscribe streams (default 1024);
+//	                     excess subscribers get 429 immediately
+//
+// On SIGINT/SIGTERM the server enters drain: new requests are shed
+// with 503 + Retry-After while in-flight ones finish, then the listener
+// closes. cmd/kgload drives this tier with an open-loop
+// constant-arrival-rate workload and misbehaving-client fault modes.
+//
 // With -data-dir the graph is durable: a fresh directory is seeded from
 // the generated world (checkpointed on startup), an existing one is
 // recovered — checkpoint load plus write-ahead-log replay — and served
@@ -63,6 +90,8 @@
 // Usage:
 //
 //	kgserve [-addr :8080] [-people 200] [-clusters 10] [-docs 400] [-seed 1] [-data-dir DIR] [-query-workers 1] [-rules FILE]
+//	        [-read-limit 256] [-read-queue 512] [-read-queue-wait 250ms] [-read-budget 5s]
+//	        [-write-limit 64] [-write-queue 128] [-write-queue-wait 100ms] [-write-budget 5s] [-max-subscriptions 1024]
 package main
 
 import (
@@ -76,6 +105,7 @@ import (
 	"syscall"
 	"time"
 
+	"saga/internal/admission"
 	"saga/internal/server"
 	"saga/saga"
 )
@@ -91,6 +121,16 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves from memory only. World flags (-people, -clusters, -seed) must match across restarts of the same directory")
 	queryWorkers := flag.Int("query-workers", 1, "parallel workers per /query solve (1 = sequential; results are identical at any count)")
 	rulesFile := flag.String("rules", "", "Datalog-style rule program to install at startup (see internal/rules for the syntax)")
+	defRead, defWrite, defSub := admission.DefaultLimits()
+	readLimit := flag.Int("read-limit", defRead.MaxInFlight, "max in-flight read requests (0 = unlimited)")
+	readQueue := flag.Int("read-queue", defRead.MaxQueue, "bounded read wait queue (0 = shed immediately at capacity)")
+	readQueueWait := flag.Duration("read-queue-wait", defRead.QueueWait, "max time a read may wait in queue before 429")
+	readBudget := flag.Duration("read-budget", defRead.Budget, "read request deadline; expiry mid-solve answers 503 (0 = none)")
+	writeLimit := flag.Int("write-limit", defWrite.MaxInFlight, "max in-flight write requests (0 = unlimited)")
+	writeQueue := flag.Int("write-queue", defWrite.MaxQueue, "bounded write wait queue (0 = shed immediately at capacity)")
+	writeQueueWait := flag.Duration("write-queue-wait", defWrite.QueueWait, "max time a write may wait in queue before 429")
+	writeBudget := flag.Duration("write-budget", defWrite.Budget, "write request deadline (0 = none)")
+	maxSubscriptions := flag.Int("max-subscriptions", defSub.MaxInFlight, "concurrent /subscribe streams; excess get 429 (0 = unlimited)")
 	flag.Parse()
 
 	log.Printf("generating world: %d people, %d clusters (seed %d)", *people, *clusters, *seed)
@@ -179,6 +219,11 @@ func main() {
 		log.Fatalf("build server: %v", err)
 	}
 	srv.QueryWorkers = *queryWorkers
+	srv.Admission = admission.NewController(
+		admission.Limits{MaxInFlight: *readLimit, MaxQueue: *readQueue, QueueWait: *readQueueWait, Budget: *readBudget},
+		admission.Limits{MaxInFlight: *writeLimit, MaxQueue: *writeQueue, QueueWait: *writeQueueWait, Budget: *writeBudget},
+		admission.Limits{MaxInFlight: *maxSubscriptions},
+	)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -202,6 +247,9 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("shutdown signal received; draining requests")
+		// Admission-level drain first: new arrivals shed with 503 +
+		// Retry-After while Shutdown waits out the in-flight ones.
+		srv.StartDrain()
 		drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {

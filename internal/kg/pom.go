@@ -1,6 +1,9 @@
 package kg
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The predicate-major secondary index ("pom": predicate → object key →
 // posting list of subjects). Any cross-subject probe — the bound-object
@@ -176,8 +179,14 @@ type predPostings struct {
 type pomStripe struct {
 	mu    sync.RWMutex
 	preds map[PredicateID]*predPostings
+	// applied counts flush runs into this stripe — the validation epoch
+	// for the count read-through (see SubjectsWithCount): a reader that
+	// observes the same epoch before its base read and after its buffer
+	// scan knows no buffered record moved into the stripe in between, so
+	// base + buffered cannot double- or under-count.
+	applied atomic.Uint64
 
-	_ [96]byte // pad to 128 bytes
+	_ [88]byte // pad to 128 bytes
 }
 
 func (g *Graph) pomStripe(pred PredicateID) *pomStripe {
@@ -252,6 +261,7 @@ func (g *Graph) pomFlushShardLocked(sh *graphShard) {
 		next := g.pomStripe(d.pred)
 		if next != st {
 			if st != nil {
+				st.applied.Add(1)
 				st.mu.Unlock()
 			}
 			st = next
@@ -260,6 +270,7 @@ func (g *Graph) pomFlushShardLocked(sh *graphShard) {
 		st.apply(d)
 	}
 	if st != nil {
+		st.applied.Add(1)
 		st.mu.Unlock()
 	}
 	sh.pomPending = sh.pomPending[:0]
@@ -430,9 +441,17 @@ func (g *Graph) SubjectsWithChunked(pred PredicateID, obj Value, chunkSize int, 
 // SubjectsWithCount returns the number of subjects carrying (pred, obj)
 // facts without materializing the posting list. It is the planner's
 // bound-object selectivity probe: one stripe read lock, two map lookups,
-// zero allocations (plus a delta drain when writers have buffered work —
-// see pomSync).
+// zero allocations. Unlike the posting-list accessors it never drains
+// buffered deltas — while writers have buffered work it answers
+// read-through, merging the matching buffered records into the applied
+// base count (see pomCountReadThrough), so a planner probe during
+// sustained ingest does not pay the drain or serialize behind shard
+// write locks.
 func (g *Graph) SubjectsWithCount(pred PredicateID, obj Value) int {
+	key := obj.MapKey()
+	if n, ok := g.pomCountReadThrough(pred, key, true); ok {
+		return n
+	}
 	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()
@@ -441,7 +460,66 @@ func (g *Graph) SubjectsWithCount(pred PredicateID, obj Value) int {
 	if pp == nil {
 		return 0
 	}
-	return pp.objs[obj.MapKey()].live()
+	return pp.objs[key].live()
+}
+
+// pomCountReadThrough answers a count probe for pred — restricted to
+// object key when byObj — while delta buffers are dirty, WITHOUT
+// draining them: the applied base count from the stripe plus the net of
+// matching records still sitting in dirty shards' buffers. Validation
+// is optimistic: the stripe's applied epoch must be identical before
+// the base read and after the buffer scan, proving no buffered record
+// migrated into the stripe in between (a migration would make base +
+// buffered double-count it, or — if it moved before the base read but
+// after a buffer was scanned empty — under-count). On epoch movement it
+// retries, and after a few failed rounds reports !ok so the caller
+// falls back to the drain-and-read path. Returns !ok immediately when
+// buffers are clean — the plain locked read is strictly cheaper then.
+//
+// Lock order stays legal: the stripe RLock and each shard RLock are
+// taken and released separately, never nested.
+func (g *Graph) pomCountReadThrough(pred PredicateID, key ValueKey, byObj bool) (int, bool) {
+	st := g.pomStripe(pred)
+	for attempt := 0; attempt < 4; attempt++ {
+		if g.pomDirtyShards.Load() == 0 {
+			return 0, false
+		}
+		seq := st.applied.Load()
+		base := 0
+		st.mu.RLock()
+		if pp := st.preds[pred]; pp != nil {
+			if byObj {
+				base = pp.objs[key].live()
+			} else {
+				base = pp.total
+			}
+		}
+		st.mu.RUnlock()
+		delta := 0
+		for i := range g.shards {
+			sh := &g.shards[i]
+			if !sh.pomDirty.Load() {
+				continue
+			}
+			sh.mu.RLock()
+			for j := range sh.pomPending {
+				d := &sh.pomPending[j]
+				if d.pred != pred || (byObj && d.obj != key) {
+					continue
+				}
+				if d.add {
+					delta++
+				} else {
+					delta--
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		if st.applied.Load() == seq {
+			return base + delta, true
+		}
+	}
+	return 0, false
 }
 
 // SubjectsWithSweep answers SubjectsWith from the subject-sharded indexes
@@ -482,8 +560,14 @@ func (g *Graph) SubjectsWithSweep(pred PredicateID, obj Value) []EntityID {
 }
 
 // PredicateFrequency returns the current number of triples using pred —
-// an O(1) counter read from the predicate-major index, not a shard sweep.
+// an O(1) counter read from the predicate-major index, not a shard
+// sweep. Like SubjectsWithCount it never drains buffered deltas: under
+// sustained ingest the buffered records for pred are merged into the
+// applied total read-through (see pomCountReadThrough).
 func (g *Graph) PredicateFrequency(pred PredicateID) int {
+	if n, ok := g.pomCountReadThrough(pred, ValueKey{}, false); ok {
+		return n
+	}
 	g.pomSync()
 	st := g.pomStripe(pred)
 	st.mu.RLock()

@@ -384,3 +384,182 @@ func TestPomRetractHeavyConcurrentChurn(t *testing.T) {
 	readers.Wait()
 	checkPomAgainstSweep(t, g, preds, objs)
 }
+
+// The count accessors must answer read-through while delta buffers are
+// dirty: correct values (base plus buffered net, retracts included) with
+// the buffers left in place — no drain, verified by pomDirtyShards
+// staying nonzero across every count read.
+func TestPomCountReadThrough(t *testing.T) {
+	g := NewGraphWithShards(8)
+	pA, _ := g.AddPredicate(Predicate{Name: "a"})
+	pB, _ := g.AddPredicate(Predicate{Name: "b"})
+	team, err := g.AddEntity(Entity{Key: "team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := g.AddEntity(Entity{Key: "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]EntityID, 32)
+	for i := range subs {
+		id, err := g.AddEntity(Entity{Key: fmt.Sprintf("s%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = id
+	}
+	// Drain the clean slate so every later delta is a buffered one.
+	g.SyncIndexes()
+
+	check := func(wantTeamA, wantOtherA, wantFreqA, wantFreqB int) {
+		t.Helper()
+		if g.pomDirtyShards.Load() == 0 {
+			t.Fatal("buffers unexpectedly clean; the read-through path is not being exercised")
+		}
+		if got := g.SubjectsWithCount(pA, EntityValue(team)); got != wantTeamA {
+			t.Fatalf("SubjectsWithCount(a, team) = %d, want %d", got, wantTeamA)
+		}
+		if got := g.SubjectsWithCount(pA, EntityValue(other)); got != wantOtherA {
+			t.Fatalf("SubjectsWithCount(a, other) = %d, want %d", got, wantOtherA)
+		}
+		if got := g.PredicateFrequency(pA); got != wantFreqA {
+			t.Fatalf("PredicateFrequency(a) = %d, want %d", got, wantFreqA)
+		}
+		if got := g.PredicateFrequency(pB); got != wantFreqB {
+			t.Fatalf("PredicateFrequency(b) = %d, want %d", got, wantFreqB)
+		}
+		if g.pomDirtyShards.Load() == 0 {
+			t.Fatal("a count read drained the buffers")
+		}
+	}
+
+	// Buffered asserts across two predicates and two objects.
+	for i, s := range subs {
+		obj := EntityValue(team)
+		if i%4 == 3 {
+			obj = EntityValue(other)
+		}
+		if err := g.Assert(Triple{Subject: s, Predicate: pA, Object: obj}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range subs[:10] {
+		if err := g.Assert(Triple{Subject: s, Predicate: pB, Object: StringValue("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(24, 8, 32, 10)
+
+	// Buffered retracts must subtract through the same path.
+	for _, s := range subs[:6] {
+		// subs[3] carries (a, other), not (a, team), so that retract is a
+		// no-op — 5 live facts actually go.
+		g.Retract(Triple{Subject: s, Predicate: pA, Object: EntityValue(team)})
+	}
+	g.Retract(Triple{Subject: subs[3], Predicate: pA, Object: EntityValue(other)})
+	check(19, 7, 26, 10)
+
+	// A second wave on top of still-buffered work: mixed base (some
+	// shards may have flushed nothing yet) plus fresh deltas. subs[3]
+	// joins team for the first time here.
+	for _, s := range subs[:6] {
+		if err := g.Assert(Triple{Subject: s, Predicate: pA, Object: EntityValue(team)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(25, 7, 32, 10)
+
+	// Draining must not change any answer.
+	g.SyncIndexes()
+	if g.pomDirtyShards.Load() != 0 {
+		t.Fatal("buffers dirty after SyncIndexes")
+	}
+	if got := g.SubjectsWithCount(pA, EntityValue(team)); got != 25 {
+		t.Fatalf("post-drain SubjectsWithCount(a, team) = %d, want 25", got)
+	}
+	if got := g.PredicateFrequency(pA); got != 32 {
+		t.Fatalf("post-drain PredicateFrequency(a) = %d, want 32", got)
+	}
+}
+
+// Property: under randomized assert/retract interleavings the
+// read-through counts agree with a model maintained by the test, at
+// every probe point, without the probes ever draining the buffers.
+func TestPomCountReadThroughRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraphWithShards(16)
+	const nEnts, nPreds = 48, 4
+	ents := make([]EntityID, nEnts)
+	for i := range ents {
+		id, err := g.AddEntity(Entity{Key: fmt.Sprintf("e%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents[i] = id
+	}
+	preds := make([]PredicateID, nPreds)
+	for i := range preds {
+		id, err := g.AddPredicate(Predicate{Name: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = id
+	}
+	objs := pomTestObjects(ents[:8])
+	g.SyncIndexes()
+
+	type cell struct {
+		pred PredicateID
+		obj  ValueKey
+	}
+	type factKey struct {
+		subj EntityID
+		cell cell
+	}
+	counts := make(map[cell]int)
+	freq := make(map[PredicateID]int)
+	present := make(map[factKey]bool)
+
+	for step := 0; step < 4000; step++ {
+		tr := Triple{
+			Subject:   ents[rng.Intn(nEnts)],
+			Predicate: preds[rng.Intn(nPreds)],
+			Object:    objs[rng.Intn(len(objs))],
+		}
+		ck := cell{tr.Predicate, tr.Object.MapKey()}
+		fk := factKey{tr.Subject, ck}
+		if rng.Intn(3) == 0 {
+			g.Retract(tr)
+			if present[fk] {
+				present[fk] = false
+				counts[ck]--
+				freq[tr.Predicate]--
+			}
+		} else {
+			if err := g.Assert(tr); err != nil {
+				t.Fatal(err)
+			}
+			if !present[fk] {
+				present[fk] = true
+				counts[ck]++
+				freq[tr.Predicate]++
+			}
+		}
+		if step%97 == 0 {
+			dirtyBefore := g.pomDirtyShards.Load()
+			p := preds[rng.Intn(nPreds)]
+			o := objs[rng.Intn(len(objs))]
+			if got, want := g.SubjectsWithCount(p, o), counts[cell{p, o.MapKey()}]; got != want {
+				t.Fatalf("step %d: SubjectsWithCount = %d, model says %d", step, got, want)
+			}
+			if got, want := g.PredicateFrequency(p), freq[p]; got != want {
+				t.Fatalf("step %d: PredicateFrequency = %d, model says %d", step, got, want)
+			}
+			if dirtyBefore != 0 && g.pomDirtyShards.Load() == 0 {
+				t.Fatalf("step %d: count probes drained the buffers", step)
+			}
+		}
+	}
+	checkPomAgainstSweep(t, g, preds, objs)
+}

@@ -127,9 +127,10 @@ func TestAssertBatchSortedFirstWins(t *testing.T) {
 	}
 }
 
-// Buffered pom deltas must be invisible to readers (flush-on-read), must
-// drain on watermark-bearing reads (rlockAll), and must drain eagerly on
-// SyncIndexes.
+// Buffered pom deltas must be invisible to readers — count accessors
+// answer read-through without draining, posting-list accessors
+// flush-on-read — must drain on watermark-bearing reads (rlockAll), and
+// must drain eagerly on SyncIndexes.
 func TestPomDeltaBufferLifecycle(t *testing.T) {
 	g := NewGraphWithShards(8)
 	p, _ := g.AddPredicate(Predicate{Name: "p"})
@@ -151,12 +152,21 @@ func TestPomDeltaBufferLifecycle(t *testing.T) {
 	if g.pomDirtyShards.Load() == 0 {
 		t.Fatal("no dirty shard after a buffered assert")
 	}
-	// Read-your-writes: the pom accessor drains the buffer it needs.
+	// Read-your-writes without a drain: the count accessor answers
+	// read-through, merging the buffered delta, and leaves the buffer in
+	// place for the next posting-list reader or threshold flush.
 	if got := g.SubjectsWithCount(p, EntityValue(team)); got != 1 {
 		t.Fatalf("SubjectsWithCount = %d, want 1", got)
 	}
+	if g.pomDirtyShards.Load() == 0 {
+		t.Fatal("count read-through drained the buffers; counts must not pay the drain")
+	}
+	// Posting-list reads still drain the buffer they need.
+	if got := g.SubjectsWith(p, EntityValue(team)); len(got) != 1 {
+		t.Fatalf("SubjectsWith = %v, want one subject", got)
+	}
 	if g.pomDirtyShards.Load() != 0 {
-		t.Fatal("buffers still dirty after a pom read")
+		t.Fatal("buffers still dirty after a posting-list read")
 	}
 
 	assertOne(1)

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"saga/saga"
+)
+
+// ingestServer builds a server over an untrained platform: /ingest,
+// /query, and /health need no embeddings.
+func ingestServer(t *testing.T) (*Server, *saga.World) {
+	t.Helper()
+	w, err := saga.GenerateWorld(saga.WorldConfig{NumPeople: 30, NumClusters: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(saga.New(w.Graph), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, w
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	srv, w := ingestServer(t)
+	h := srv.Handler()
+	g := w.Graph
+	a := g.Entity(w.People[0]).Key
+	b := g.Entity(w.People[1]).Key
+	before := g.NumTriples()
+
+	body := `{"asserts":[{"subject":"` + a + `","predicate":"collaborator","object":{"key":"` + b + `"}}]}`
+	rec, resp := do(t, h, "POST", "/ingest", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, resp)
+	}
+	if resp["added"].(float64) != 1 || resp["watermark"].(float64) == 0 {
+		t.Fatalf("ingest response = %v", resp)
+	}
+	if g.NumTriples() != before+1 {
+		t.Fatalf("triples = %d, want %d", g.NumTriples(), before+1)
+	}
+	// Re-asserting dedups.
+	rec, resp = do(t, h, "POST", "/ingest", body)
+	if rec.Code != http.StatusOK || resp["added"].(float64) != 0 {
+		t.Fatalf("re-assert = %d %v", rec.Code, resp)
+	}
+	// The new fact answers through /query.
+	qbody := `{"clauses":[{"subject":{"key":"` + a + `"},"predicate":"collaborator","object":{"var":"x"}}]}`
+	rec, resp = do(t, h, "POST", "/query", qbody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query status = %d", rec.Code)
+	}
+	if resp["count"].(float64) < 1 {
+		t.Fatalf("asserted fact not queryable: %v", resp)
+	}
+	// Retract removes it; retracting again is a no-op.
+	rbody := `{"retracts":[{"subject":"` + a + `","predicate":"collaborator","object":{"key":"` + b + `"}}]}`
+	rec, resp = do(t, h, "POST", "/ingest", rbody)
+	if rec.Code != http.StatusOK || resp["retracted"].(float64) != 1 {
+		t.Fatalf("retract = %d %v", rec.Code, resp)
+	}
+	rec, resp = do(t, h, "POST", "/ingest", rbody)
+	if rec.Code != http.StatusOK || resp["retracted"].(float64) != 0 {
+		t.Fatalf("re-retract = %d %v", rec.Code, resp)
+	}
+	if g.NumTriples() != before {
+		t.Fatalf("triples after retract = %d, want %d", g.NumTriples(), before)
+	}
+
+	// Literal objects work too.
+	lit := `{"asserts":[{"subject":"` + a + `","predicate":"followers","object":{"int":42}}]}`
+	rec, resp = do(t, h, "POST", "/ingest", lit)
+	if rec.Code != http.StatusOK || resp["added"].(float64) != 1 {
+		t.Fatalf("literal assert = %d %v", rec.Code, resp)
+	}
+
+	// Errors: empty batch, unknown subject/predicate, variable object,
+	// malformed JSON, partial-batch rejection (bad triple second).
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"asserts":[{"subject":"nope","predicate":"collaborator","object":{"key":"` + b + `"}}]}`, http.StatusNotFound},
+		{`{"asserts":[{"subject":"` + a + `","predicate":"nope","object":{"key":"` + b + `"}}]}`, http.StatusNotFound},
+		{`{"asserts":[{"subject":"` + a + `","predicate":"collaborator","object":{"var":"x"}}]}`, http.StatusBadRequest},
+		{`{bad`, http.StatusBadRequest},
+	} {
+		rec, _ := do(t, h, "POST", "/ingest", tc.body)
+		if rec.Code != tc.code {
+			t.Fatalf("ingest %q status = %d, want %d", tc.body, rec.Code, tc.code)
+		}
+	}
+	// A bad triple anywhere rejects the whole batch: nothing applied.
+	mid := g.NumTriples()
+	mixed := `{"asserts":[
+		{"subject":"` + a + `","predicate":"collaborator","object":{"key":"` + b + `"}},
+		{"subject":"nope","predicate":"collaborator","object":{"key":"` + b + `"}}]}`
+	rec, _ = do(t, h, "POST", "/ingest", mixed)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("mixed batch status = %d", rec.Code)
+	}
+	if g.NumTriples() != mid {
+		t.Fatalf("partial batch applied: triples %d -> %d", mid, g.NumTriples())
+	}
+	// Oversized body answers 413.
+	big := `{"asserts":[{"subject":"` + strings.Repeat("x", maxQueryBodyBytes) + `"}]}`
+	rec, _ = do(t, h, "POST", "/ingest", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized status = %d", rec.Code)
+	}
+	// Batches past the op cap answer 400.
+	var sb strings.Builder
+	sb.WriteString(`{"retracts":[`)
+	for i := 0; i <= maxIngestOps; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"subject":"` + a + `","predicate":"collaborator","object":{"key":"` + b + `"}}`)
+	}
+	sb.WriteString(`]}`)
+	rec, _ = do(t, h, "POST", "/ingest", sb.String())
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d", rec.Code)
+	}
+}
+
+// TestIngestDurableWatermark pins the durable contract: the response
+// watermark is the fsync-acknowledged LSN covering the batch.
+func TestIngestDurableWatermark(t *testing.T) {
+	w, err := saga.GenerateWorld(saga.WorldConfig{NumPeople: 10, NumClusters: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := saga.OpenDurablePlatform(t.TempDir(), saga.DurableOptions{Sync: saga.SyncEachCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.CloseDurable()
+	if err := saga.ImportGraph(p.Graph(), w.Graph); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	a := g.Entity(w.People[0]).Key
+	b := g.Entity(w.People[1]).Key
+	body := `{"asserts":[{"subject":"` + a + `","predicate":"collaborator","object":{"key":"` + b + `"}}]}`
+	rec, resp := do(t, srv.Handler(), "POST", "/ingest", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %v", rec.Code, resp)
+	}
+	wm := uint64(resp["watermark"].(float64))
+	if wm != g.LastSeq() {
+		t.Fatalf("watermark = %d, graph at %d", wm, g.LastSeq())
+	}
+	if durable := p.Durability().DurableLSN(); durable < wm {
+		t.Fatalf("durable LSN %d behind response watermark %d", durable, wm)
+	}
+}

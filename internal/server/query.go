@@ -60,6 +60,16 @@ import (
 // replayed prior-page rows for a cursored request (page N re-derives
 // ~N*limit rows; the documented O(pages-before-it) cursor cost) — never
 // the unbounded answer-set growth NoDedup exists for.
+//
+// Overload semantics: /query is Read-class traffic behind the admission
+// gate (see server.go). When the read tier is saturated the request
+// waits in a bounded FIFO queue up to the queue deadline; overflow or
+// deadline expiry answers 429 with a Retry-After header, and a draining
+// server answers 503 with Retry-After. Admitted requests carry the read
+// budget as a context deadline: a solve that exceeds it is cancelled
+// mid-join and answered 503 + Retry-After (the budget expired, back
+// off), distinct from a client disconnect (no response at all). Budgets
+// and limits are operator knobs (kgserve -read-budget and friends).
 const (
 	// maxQueryBodyBytes caps the request body size.
 	maxQueryBodyBytes = 1 << 20
@@ -233,8 +243,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	more := false
 	for b, err := range stream {
 		if err != nil {
-			if isClientGone(err) {
-				// Nothing useful to write.
+			if contextEnded(w, r, err) {
 				return
 			}
 			writeError(w, http.StatusBadRequest, err)

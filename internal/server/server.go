@@ -11,6 +11,22 @@
 // /related, /search, /subscribe all thread the request context into
 // their compute so a disconnected client aborts the work instead of
 // burning CPU to completion.
+//
+// # Admission control
+//
+// Every route passes through a per-class admission gate
+// (internal/admission) before its handler runs: /health is exempt,
+// GETs and /query and /annotate are Read class, /ingest and the rule
+// endpoints are Write class, and /subscribe holds a Subscribe-class
+// slot for the stream's whole life. At capacity a request waits in a
+// bounded FIFO queue with a queue deadline; overflow and deadline
+// expiry shed with 429 + Retry-After, and a draining server (StartDrain)
+// sheds everything non-exempt with 503 + Retry-After. Admission also
+// installs the class's request budget as a context deadline, so a solve
+// that outlives its usefulness is cancelled mid-join and answered with
+// 503 (the budget expired; the client is still there) rather than
+// silently dropped (the client disconnected). Per-class gauges and shed
+// counters are surfaced under /health "admission".
 package server
 
 import (
@@ -21,6 +37,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"saga/internal/admission"
 	"saga/internal/kg"
 	"saga/internal/websearch"
 	"saga/saga"
@@ -29,11 +46,15 @@ import (
 // Server holds the serving dependencies. Search is optional (nil disables
 // /search). QueryWorkers sets the parallelism of every POST /query solve
 // (0 or 1 runs sequentially); responses are byte-identical at any worker
-// count, so it is purely a throughput knob.
+// count, so it is purely a throughput knob. Admission is the overload
+// gate every route passes through; New installs the stock limits
+// (admission.DefaultLimits), and callers may replace the controller
+// before Handler is first used.
 type Server struct {
 	Platform     *saga.Platform
 	Search       *websearch.Index
 	QueryWorkers int
+	Admission    *admission.Controller
 }
 
 // New builds a Server over an initialized platform.
@@ -41,25 +62,74 @@ func New(p *saga.Platform, search *websearch.Index) (*Server, error) {
 	if p == nil {
 		return nil, errors.New("server: nil platform")
 	}
-	return &Server{Platform: p, Search: search}, nil
+	return &Server{Platform: p, Search: search, Admission: admission.NewController(admission.DefaultLimits())}, nil
 }
 
-// Handler returns the HTTP routing table.
+// StartDrain flips the server into drain mode: every non-exempt route
+// sheds with 503 + Retry-After while already-admitted requests run to
+// completion. Call it when a shutdown signal arrives, before
+// http.Server.Shutdown, so load balancers see the drain instead of
+// connection resets.
+func (s *Server) StartDrain() { s.Admission.StartDrain() }
+
+// Handler returns the HTTP routing table with each route behind its
+// admission class.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.handleHealth)
-	mux.HandleFunc("GET /entity", s.handleEntity)
-	mux.HandleFunc("POST /annotate", s.handleAnnotate)
-	mux.HandleFunc("GET /rank", s.handleRank)
-	mux.HandleFunc("GET /verify", s.handleVerify)
-	mux.HandleFunc("GET /related", s.handleRelated)
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /subscribe", s.handleSubscribe)
-	mux.HandleFunc("POST /rules", s.handleRulesDefine)
-	mux.HandleFunc("GET /rules", s.handleRulesGet)
-	mux.HandleFunc("POST /derive", s.handleDerive)
+	mux.HandleFunc("GET /health", s.admit(admission.Exempt, s.handleHealth))
+	mux.HandleFunc("GET /entity", s.admit(admission.Read, s.handleEntity))
+	mux.HandleFunc("POST /annotate", s.admit(admission.Read, s.handleAnnotate))
+	mux.HandleFunc("GET /rank", s.admit(admission.Read, s.handleRank))
+	mux.HandleFunc("GET /verify", s.admit(admission.Read, s.handleVerify))
+	mux.HandleFunc("GET /related", s.admit(admission.Read, s.handleRelated))
+	mux.HandleFunc("GET /search", s.admit(admission.Read, s.handleSearch))
+	mux.HandleFunc("POST /query", s.admit(admission.Read, s.handleQuery))
+	mux.HandleFunc("POST /subscribe", s.admit(admission.Subscribe, s.handleSubscribe))
+	mux.HandleFunc("POST /ingest", s.admit(admission.Write, s.handleIngest))
+	mux.HandleFunc("POST /rules", s.admit(admission.Write, s.handleRulesDefine))
+	mux.HandleFunc("GET /rules", s.admit(admission.Read, s.handleRulesGet))
+	mux.HandleFunc("POST /derive", s.admit(admission.Write, s.handleDerive))
 	return mux
+}
+
+// admit gates h behind the class's admission limiter and installs the
+// class budget on the request context. Sheds are answered here — 429
+// with Retry-After for queue overflow/timeout and degradation, 503 for
+// drain — so handlers only ever see admitted requests.
+func (s *Server) admit(class admission.Class, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Admission == nil {
+			// Zero-value Server (built without New): serve ungated.
+			h(w, r)
+			return
+		}
+		release, err := s.Admission.Acquire(r.Context(), class)
+		if err != nil {
+			writeShed(w, err)
+			return
+		}
+		defer release()
+		ctx, cancel := s.Admission.WithBudget(r.Context(), class)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// writeShed answers a request the admission gate rejected.
+func writeShed(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, admission.ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, admission.ErrQueueFull),
+		errors.Is(err, admission.ErrQueueTimeout),
+		errors.Is(err, admission.ErrDegraded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		// The request context ended while queued: the client is gone,
+		// nothing useful to write.
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -83,6 +153,23 @@ func isClientGone(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// contextEnded handles a compute error caused by the request context
+// ending, distinguishing why: when the admission budget expired the
+// client is still listening, so it gets 503 + Retry-After (back off,
+// the server could not finish in time); when the client disconnected
+// there is no one to write to. Returns false for every other error so
+// the caller falls through to its normal error path.
+func contextEnded(w http.ResponseWriter, r *http.Request, err error) bool {
+	if !isClientGone(err) {
+		return false
+	}
+	if errors.Is(context.Cause(r.Context()), admission.ErrBudget) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, admission.ErrBudget)
+	}
+	return true
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g := s.Platform.Graph()
 	resp := map[string]any{
@@ -92,6 +179,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"triples":    g.NumTriples(),
 		"plan_cache": s.Platform.QueryPlanCacheStats(),
 		"changefeed": s.Platform.ChangefeedStats(),
+	}
+	if s.Admission != nil {
+		resp["admission"] = s.Admission.Stats()
 	}
 	if s.Platform.Rules() != nil {
 		resp["rules"] = s.Platform.RuleStats()
@@ -235,7 +325,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	ranked, err := s.Platform.RankFactsContext(r.Context(), subj.ID, pred.ID)
 	if err != nil {
-		if isClientGone(err) {
+		if contextEnded(w, r, err) {
 			return
 		}
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -303,7 +393,7 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 	}
 	rel, err := s.Platform.RelatedEntitiesContext(r.Context(), e.ID, k)
 	if err != nil {
-		if isClientGone(err) {
+		if contextEnded(w, r, err) {
 			return
 		}
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -345,8 +435,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, err := s.Search.SearchContext(r.Context(), q, k)
 	if err != nil {
-		// Only the request context can produce an error here: the client
-		// disconnected, nothing useful to write.
+		// Only the request context can produce an error here: either the
+		// admission budget expired (503) or the client disconnected
+		// (nothing to write).
+		contextEnded(w, r, err)
 		return
 	}
 	type row struct {

@@ -28,6 +28,15 @@ import (
 // deadline (subscribeWriteTimeout), which also overrides the server's
 // global write timeout for this connection — long-lived streams are
 // expected here.
+//
+// Overload semantics: /subscribe is Subscribe-class traffic, the lowest
+// admission priority, and its admission slot is held for the stream's
+// whole life — the class's in-flight limit is therefore a concurrent-
+// subscriber cap (kgserve -max-subscriptions). The class has no wait
+// queue: a subscriber beyond the cap is shed immediately with 429 +
+// Retry-After, and a draining server answers 503 + Retry-After. No
+// request budget applies (streams are meant to outlive any deadline);
+// the slow-client eviction above is what bounds a stream's cost.
 const (
 	// subscribeWriteTimeout bounds one event write to a slow client.
 	subscribeWriteTimeout = 10 * time.Second

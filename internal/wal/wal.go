@@ -112,6 +112,17 @@ type Options struct {
 	// stays readable. 0 and 1 both mean "newest only" — the eager
 	// behavior.
 	RetainCheckpoints int
+	// RetainAge protects young checkpoints from count-based eviction: a
+	// checkpoint is only deleted once it is older than RetainAge, so the
+	// as-of window covers at least that much wall-clock history no
+	// matter how frequently checkpoints are taken (a checkpoint storm
+	// cannot age history out early). It never forces deletion — a
+	// checkpoint inside the RetainCheckpoints budget is kept at any age
+	// — and 0 disables the age floor. Checkpoints found on disk at Open
+	// are stamped with the open time (their true age is unknowable
+	// without trusting file metadata), so a freshly reopened manager
+	// retains them for a full RetainAge.
+	RetainAge time.Duration
 }
 
 func (o Options) fs() FS {
@@ -196,6 +207,12 @@ type Manager struct {
 	// Both drive retention deletion and as-of suffix collection.
 	ckpts    []uint64
 	segFirst map[uint64]uint64
+	// ckptTimes stamps each indexed checkpoint with its creation time
+	// (or the Open time, for checkpoints discovered on disk) for the
+	// RetainAge floor; now is swappable so retention tests can run a
+	// fake clock instead of sleeping.
+	ckptTimes map[uint64]time.Time
+	now       func() time.Time
 	// asofBases caches checkpoint base graphs loaded for SnapshotAt,
 	// keyed by checkpoint watermark. Bases are immutable once loaded.
 	asofBases map[uint64]*kg.Graph
@@ -229,17 +246,19 @@ func Open(dir string, g *kg.Graph, opts Options) (*Manager, *RecoveryInfo, error
 		return nil, info, err
 	}
 	m := &Manager{
-		fs:       fs,
-		dir:      dir,
-		g:        g,
-		opts:     opts,
-		gen:      maxGen, // openSegment bumps to maxGen+1
-		feed:     g.Feed(g.LastSeq()),
-		ckptLSN:  info.CheckpointLSN,
-		segFirst: make(map[uint64]uint64),
-		entCur:   g.NumEntities(),
-		predCur:  g.NumPredicates(),
-		ontCur:   g.Ontology().Len(),
+		fs:        fs,
+		dir:       dir,
+		g:         g,
+		opts:      opts,
+		gen:       maxGen, // openSegment bumps to maxGen+1
+		feed:      g.Feed(g.LastSeq()),
+		ckptLSN:   info.CheckpointLSN,
+		segFirst:  make(map[uint64]uint64),
+		ckptTimes: make(map[uint64]time.Time),
+		now:       time.Now,
+		entCur:    g.NumEntities(),
+		predCur:   g.NumPredicates(),
+		ontCur:    g.Ontology().Len(),
 	}
 	m.durable.Store(g.LastSeq())
 	// Index the surviving files: retention deletion and as-of suffix
@@ -256,6 +275,13 @@ func Open(dir string, g *kg.Graph, opts Options) (*Manager, *RecoveryInfo, error
 			}
 		}
 		sort.Slice(m.ckpts, func(i, j int) bool { return m.ckpts[i] < m.ckpts[j] })
+	}
+	// Discovered checkpoints count as created now: their real age is not
+	// recorded anywhere trustworthy, and over-retaining is the safe
+	// direction for an age floor.
+	openedAt := m.now()
+	for _, w := range m.ckpts {
+		m.ckptTimes[w] = openedAt
 	}
 	if err := m.openSegmentLocked(); err != nil {
 		return nil, info, err
@@ -577,6 +603,7 @@ func (m *Manager) checkpointLocked() error {
 	if len(m.ckpts) == 0 || m.ckpts[len(m.ckpts)-1] != wm {
 		m.ckpts = append(m.ckpts, wm)
 	}
+	m.ckptTimes[wm] = m.now()
 	if m.feed.Cursor() < wm {
 		m.feed.Reset(wm)
 	}
@@ -608,21 +635,39 @@ func (m *Manager) checkpointLocked() error {
 }
 
 // applyRetentionLocked deletes checkpoints beyond Options.
-// RetainCheckpoints (newest first) and every retired log segment whose
-// content is entirely at or below the oldest retained checkpoint's
-// watermark. A segment's content spans (firstLSN, next segment's
-// firstLSN], so segment g is dead once its successor's firstLSN is at
-// or below that watermark; firstLSN is non-decreasing across
-// generations, which makes deletability a prefix property. oldGen is
-// the just-retired generation — the active segment is never deleted.
+// RetainCheckpoints (newest first, and additionally aged past
+// Options.RetainAge when that floor is set) and every retired log
+// segment whose content is entirely at or below the oldest retained
+// checkpoint's watermark. A segment's content spans (firstLSN, next
+// segment's firstLSN], so segment g is dead once its successor's
+// firstLSN is at or below that watermark; firstLSN is non-decreasing
+// across generations, which makes deletability a prefix property.
+// oldGen is the just-retired generation — the active segment is never
+// deleted.
 func (m *Manager) applyRetentionLocked(oldGen uint64) {
 	retain := m.opts.RetainCheckpoints
 	if retain < 1 {
 		retain = 1
 	}
-	if drop := len(m.ckpts) - retain; drop > 0 {
+	drop := len(m.ckpts) - retain
+	if drop > 0 && m.opts.RetainAge > 0 {
+		// The age floor only shrinks the drop: checkpoint times are
+		// non-decreasing in watermark order, so the stale ones form a
+		// prefix and count-based eviction stops at the first young one.
+		cutoff := m.now().Add(-m.opts.RetainAge)
+		stale := 0
+		for _, w := range m.ckpts[:drop] {
+			if m.ckptTimes[w].After(cutoff) {
+				break
+			}
+			stale++
+		}
+		drop = stale
+	}
+	if drop > 0 {
 		for _, w := range m.ckpts[:drop] {
 			_ = m.fs.Remove(filepath.Join(m.dir, ckptName(w)))
+			delete(m.ckptTimes, w)
 		}
 		m.ckpts = append(m.ckpts[:0], m.ckpts[drop:]...)
 	}

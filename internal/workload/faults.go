@@ -1,0 +1,133 @@
+package workload
+
+// Misbehaving-client fault modes for the serving tier: clients that
+// stall mid-stream, disconnect mid-response, or ship oversized bodies.
+// Each helper drives the fault through real HTTP (a TCP connection with
+// genuine socket backpressure, not httptest.ResponseRecorder) so the
+// server-side defenses it exercises — slow-subscriber eviction,
+// context-cancelled solves, MaxBytesReader — face the same conditions
+// production clients create. The load tests assert the server survives
+// these without leaking goroutines or wedging.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SlowSubscribeResult reports one slow-subscriber run.
+type SlowSubscribeResult struct {
+	// Status is the HTTP status of the subscribe itself.
+	Status int
+	// Lines counts NDJSON lines read (including the final error line).
+	Lines int
+	// ErrorLine is the final {"error": ...} payload when the server
+	// evicted the subscriber, empty otherwise.
+	ErrorLine string
+}
+
+// SlowSubscribe opens a subscription with a tiny eviction bound, reads
+// the snapshot, then stalls — not reading the socket for stall — while
+// the caller mutates the graph. Once the server's coalescer overruns
+// MaxPending it must evict the subscriber and write a final
+// {"error": ...} line; SlowSubscribe resumes reading after the stall
+// and returns that line. The caller is responsible for generating
+// enough mutations during the stall to overrun maxPending.
+func SlowSubscribe(ctx context.Context, client *http.Client, base, clausesBody string, maxPending int, stall time.Duration) (*SlowSubscribeResult, error) {
+	body := fmt.Sprintf(`{"clauses":%s,"coalesce_ms":1,"buffer":1,"max_pending":%d}`, clausesBody, maxPending)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/subscribe", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	res := &SlowSubscribeResult{Status: resp.StatusCode}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return res, nil
+	}
+	rd := bufio.NewReader(resp.Body)
+	// Read the snapshot line, then go quiet: the kernel receive buffer
+	// fills, the server's event writes block, and its hub accumulates
+	// undelivered deltas past max_pending.
+	if _, err := rd.ReadString('\n'); err != nil {
+		return res, err
+	}
+	res.Lines++
+	select {
+	case <-time.After(stall):
+	case <-ctx.Done():
+		return res, ctx.Err()
+	}
+	// Drain whatever the server managed to send, watching for the final
+	// error line that pins the eviction.
+	for {
+		line, err := rd.ReadString('\n')
+		if len(line) > 0 {
+			res.Lines++
+			var ev struct {
+				Error string `json:"error"`
+			}
+			if jerr := json.Unmarshal([]byte(line), &ev); jerr == nil && ev.Error != "" {
+				res.ErrorLine = ev.Error
+			}
+		}
+		if err != nil {
+			return res, nil // EOF (server closed after evicting) is the expected exit
+		}
+	}
+}
+
+// MidStreamDisconnect starts a streaming request (POST body to path)
+// and severs the connection after firstByteOrDeadline — after the first
+// response byte when one arrives in time, unconditionally otherwise.
+// The status (0 when the cut beat the headers) lets tests confirm the
+// request was admitted before the disconnect.
+func MidStreamDisconnect(ctx context.Context, client *http.Client, base, path, body string, firstByteOrDeadline time.Duration) (int, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		one := make([]byte, 1)
+		_, _ = resp.Body.Read(one)
+	}()
+	select {
+	case <-done:
+	case <-time.After(firstByteOrDeadline):
+	}
+	cancel() // sever mid-stream; the server's context must abort the work
+	return resp.StatusCode, nil
+}
+
+// OversizedBody posts a body just past limit bytes to path and returns
+// the status — the server must answer 413 without reading the whole
+// payload into memory.
+func OversizedBody(ctx context.Context, client *http.Client, base, path string, limit int) (int, error) {
+	// Valid JSON prefix with a huge padding field: the handler's decoder
+	// hits MaxBytesReader before the document completes.
+	var sb strings.Builder
+	sb.WriteString(`{"clauses":[],"pad":"`)
+	sb.WriteString(strings.Repeat("x", limit))
+	sb.WriteString(`"}`)
+	return doJSON(ctx, client, http.MethodPost, base+path, sb.String())
+}

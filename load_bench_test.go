@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"saga/internal/admission"
+	"saga/internal/server"
+	"saga/internal/workload"
+	"saga/saga"
+)
+
+// BenchmarkE20Load measures the serving tier under open-loop overload
+// (experiment E20, report-only — excluded from the benchcmp gate; every
+// number is dominated by a wall-clock capacity probe plus a saturated
+// run, so scheduler jitter swamps the 20% threshold).
+//
+// Setup pins tight per-route admission limits (4 read slots, queue of
+// 8) over a world whose saturating query — a two-clause collaborator
+// self-join — costs milliseconds, so a single-process driver can
+// overrun the server. Each iteration first measures closed-loop
+// capacity with more workers than admission slots (so the probe
+// saturates the server, not the client), then offers 2x that rate
+// open-loop for a second and reports:
+//
+//	goodput/s  completed 2xx per second under 2x overload — a healthy
+//	           admission tier holds this near the probed capacity
+//	p99-ms     p99 latency of admitted requests — bounded by the read
+//	           route's queue-wait + budget, not by the overload
+//	shed-frac  fraction of offered arrivals shed (429/503) — the
+//	           excess, roughly 0.5 at 2x when goodput holds
+//
+// Any 5xx or transport error fails the benchmark: overload must
+// degrade to fast sheds, never to errors.
+func BenchmarkE20Load(b *testing.B) {
+	w, err := saga.GenerateWorld(saga.WorldConfig{NumPeople: 600, NumClusters: 8, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := saga.New(w.Graph)
+	if err := p.DefineRulesText(""); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Admission = admission.NewController(
+		admission.Limits{MaxInFlight: 4, MaxQueue: 8, QueueWait: 40 * time.Millisecond, Budget: 2 * time.Second},
+		admission.Limits{MaxInFlight: 4, MaxQueue: 8, QueueWait: 40 * time.Millisecond, Budget: 2 * time.Second},
+		admission.Limits{MaxInFlight: 64},
+	)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := workload.NewLoadClient(10 * time.Second)
+	defer client.CloseIdleConnections()
+	ctx := context.Background()
+	op := workload.SaturationQueryOp()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		capacity := workload.MeasureClosedLoop(ctx, client, ts.URL, op, 16, 800*time.Millisecond)
+		if capacity <= 0 {
+			b.Fatal("closed-loop probe completed nothing")
+		}
+		rep, err := workload.RunOpenLoop(ctx, workload.LoadConfig{
+			BaseURL:     ts.URL,
+			Client:      client,
+			Rate:        2 * capacity,
+			Duration:    time.Second,
+			Ops:         []workload.LoadOp{op},
+			Seed:        int64(i + 1),
+			MaxInFlight: 8192,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.ServerErrors > 0 || rep.TransportErrors > 0 {
+			b.Fatalf("overload produced errors: %d server, %d transport", rep.ServerErrors, rep.TransportErrors)
+		}
+		b.ReportMetric(rep.GoodputPerSec, "goodput/s")
+		b.ReportMetric(float64(rep.P99)/float64(time.Millisecond), "p99-ms")
+		b.ReportMetric(rep.ShedRate, "shed-frac")
+	}
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# ci.sh — the local CI gate: formatting, vet, build, and the full test
-# suite under the race detector. Run it before every push; it is exactly
-# what a hosted CI job would run, so a clean exit here means a clean
-# check there.
+# ci.sh — the local CI gate: formatting, vet, build, the full test
+# suite under the race detector, and a short open-loop load smoke
+# against an in-process server (kgload -smoke: zero 5xx, zero transport
+# errors, p99 of admitted requests under the read route's deadline).
+# Run it before every push; it is exactly what a hosted CI job would
+# run, so a clean exit here means a clean check there.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
 #   SKIP_RACE=1 scripts/ci.sh  # tests without -race (quick mode)
+#   SKIP_LOAD=1 scripts/ci.sh  # skip the load smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +34,11 @@ if [[ "${SKIP_RACE:-}" == "1" ]]; then
 else
     echo "== go test -race =="
     go test -race ./...
+fi
+
+if [[ "${SKIP_LOAD:-}" != "1" ]]; then
+    echo "== load smoke (kgload) =="
+    go run ./cmd/kgload -smoke -rate 300 -duration 2s
 fi
 
 echo "CI gate passed."
